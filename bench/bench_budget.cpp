@@ -1,0 +1,52 @@
+// Reproduces paper Figure 8 (runtime/memory of budget-based provenance vs
+// the per-vertex capacity C) and Table 9 (shrink statistics).
+#include <cstdio>
+#include <vector>
+
+#include "analytics/experiment.h"
+#include "analytics/report.h"
+#include "bench_util.h"
+#include "scalable/budget.h"
+#include "util/memory.h"
+#include "util/strings.h"
+
+using namespace tinprov;
+
+int main() {
+  const double scale = bench::GetScale();
+  bench::PrintHeader("Figure 8 & Table 9",
+                     "Budget-based provenance: cost and shrink statistics "
+                     "vs capacity C");
+
+  const std::vector<size_t> capacities = {10, 50, 100, 200, 500, 1000};
+  for (const DatasetKind dataset :
+       {DatasetKind::kBitcoin, DatasetKind::kCtu, DatasetKind::kProsper}) {
+    const Tin tin = bench::MustMakeDataset(dataset, scale);
+    std::printf("\n%s network:\n", std::string(DatasetName(dataset)).c_str());
+    TablePrinter table({"C", "runtime", "peak memory", "avg shrinks",
+                        "% vertices shrunk"});
+    for (const size_t capacity : capacities) {
+      BudgetConfig config;
+      config.capacity = capacity;
+      config.keep_fraction = 0.7;
+      BudgetTracker tracker(tin.num_vertices(), config);
+      auto m = MeasureRun(&tracker, tin, "");
+      if (!m.ok()) {
+        std::fprintf(stderr, "measurement failed\n");
+        return 1;
+      }
+      const ShrinkStats stats = tracker.ComputeShrinkStats();
+      table.AddRow({std::to_string(capacity), FormatSeconds(m->seconds),
+                    FormatBytes(m->peak_memory),
+                    FormatCompact(stats.avg_shrinks, 2),
+                    FormatCompact(stats.pct_vertices, 2)});
+    }
+    std::printf("%s", table.ToString().c_str());
+  }
+  std::printf(
+      "\nExpected shape (paper): runtime and memory grow with C (longer "
+      "lists, costlier\nmerges); avg shrinks and %% of shrunk vertices fall "
+      "as C grows and converge to\nlow values — most buffers are shrunk "
+      "only a few times.\n");
+  return 0;
+}

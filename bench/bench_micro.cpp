@@ -1,0 +1,120 @@
+// google-benchmark microbenchmarks of the data structures that dominate the
+// per-interaction cost of each policy (paper Sections 4.1-4.3 complexity
+// analysis): heap vs queue buffer operations, sparse list merging, and the
+// dense vector kernels.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "core/buffer.h"
+#include "policies/proportional_sparse.h"
+#include "util/random.h"
+#include "util/simd.h"
+
+namespace tinprov {
+namespace {
+
+void BM_HeapPushPop(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(1);
+  std::vector<ProvTriple> triples(n);
+  for (size_t i = 0; i < n; ++i) {
+    triples[i] = {static_cast<VertexId>(i), rng.NextDouble(), 1.0};
+  }
+  for (auto _ : state) {
+    BinaryHeap<ProvTriple, EarlierBirthFirst> heap;
+    for (const ProvTriple& t : triples) heap.Push(t);
+    while (!heap.empty()) benchmark::DoNotOptimize(heap.Pop());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * n * 2);
+}
+BENCHMARK(BM_HeapPushPop)->Range(64, 16384);
+
+void BM_RingDequeFifo(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    RingDeque<ProvPair> deque;
+    for (size_t i = 0; i < n; ++i) {
+      deque.PushBack({static_cast<VertexId>(i), 1.0});
+    }
+    while (!deque.empty()) benchmark::DoNotOptimize(deque.PopFront());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * n * 2);
+}
+BENCHMARK(BM_RingDequeFifo)->Range(64, 16384);
+
+void BM_RingDequeLifo(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    RingDeque<ProvPair> deque;
+    for (size_t i = 0; i < n; ++i) {
+      deque.PushBack({static_cast<VertexId>(i), 1.0});
+    }
+    while (!deque.empty()) benchmark::DoNotOptimize(deque.PopBack());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * n * 2);
+}
+BENCHMARK(BM_RingDequeLifo)->Range(64, 16384);
+
+SparseVector MakeSparse(size_t len, uint64_t seed) {
+  Rng rng(seed);
+  SparseVector v;
+  VertexId origin = 0;
+  for (size_t i = 0; i < len; ++i) {
+    origin += static_cast<VertexId>(1 + rng.NextBounded(5));
+    v.push_back({origin, rng.NextDouble() + 0.1});
+  }
+  return v;
+}
+
+void BM_SparseMerge(benchmark::State& state) {
+  const size_t len = static_cast<size_t>(state.range(0));
+  const SparseVector src = MakeSparse(len, 2);
+  const SparseVector base = MakeSparse(len, 3);
+  for (auto _ : state) {
+    SparseVector dst = base;
+    MergeScaled(&dst, src, 0.5);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * len * 2);
+}
+BENCHMARK(BM_SparseMerge)->Range(16, 65536);
+
+void BM_DenseTransferFraction(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  std::vector<double> src(n, 1.0);
+  std::vector<double> dst(n, 1.0);
+  for (auto _ : state) {
+    simd::TransferFraction(dst.data(), src.data(), 0.5, n);
+    benchmark::DoNotOptimize(dst.data());
+    benchmark::DoNotOptimize(src.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * n);
+}
+BENCHMARK(BM_DenseTransferFraction)->Range(8, 1 << 20);
+
+void BM_DenseAdd(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  std::vector<double> src(n, 1.0);
+  std::vector<double> dst(n, 1.0);
+  for (auto _ : state) {
+    simd::Add(dst.data(), src.data(), n);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * n);
+}
+BENCHMARK(BM_DenseAdd)->Range(8, 1 << 20);
+
+void BM_ZipfSample(benchmark::State& state) {
+  Rng rng(4);
+  ZipfDistribution zipf(static_cast<uint64_t>(state.range(0)), 1.2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zipf(rng));
+  }
+}
+BENCHMARK(BM_ZipfSample)->Range(1024, 1 << 24);
+
+}  // namespace
+}  // namespace tinprov
+
+BENCHMARK_MAIN();

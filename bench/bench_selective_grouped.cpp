@@ -1,0 +1,57 @@
+// Reproduces paper Figure 5: runtime and memory of selective and grouped
+// proportional provenance as a function of k (tracked vertices / groups) on
+// the three large-vertex-set networks.
+#include <cstdio>
+#include <vector>
+
+#include "analytics/experiment.h"
+#include "analytics/report.h"
+#include "bench_util.h"
+#include "scalable/grouped.h"
+#include "scalable/selective.h"
+#include "util/memory.h"
+#include "util/stopwatch.h"
+
+using namespace tinprov;
+
+int main() {
+  const double scale = bench::GetScale();
+  bench::PrintHeader("Figure 5",
+                     "Selective & grouped proportional provenance vs k");
+
+  const std::vector<size_t> ks = {5, 20, 50, 100, 150, 200};
+  for (const DatasetKind dataset :
+       {DatasetKind::kBitcoin, DatasetKind::kCtu, DatasetKind::kProsper}) {
+    const Tin tin = bench::MustMakeDataset(dataset, scale);
+    std::printf("\n%s network (%zu vertices, %zu interactions):\n",
+                std::string(DatasetName(dataset)).c_str(), tin.num_vertices(),
+                tin.num_interactions());
+    TablePrinter table({"k", "selective time", "selective mem",
+                        "grouped time", "grouped mem"});
+    for (const size_t k : ks) {
+      // Selective: track the top-k generating vertices, as in the paper
+      // (selection itself runs NoProv and is not part of the measured cost).
+      const std::vector<VertexId> tracked = TopGeneratingVertices(tin, k);
+      SelectiveTracker selective(tin.num_vertices(), tracked);
+      auto sel = MeasureRun(&selective, tin, "");
+      // Grouped: round-robin allocation into k groups, as in the paper.
+      GroupedTracker grouped(tin.num_vertices(),
+                             RoundRobinGroups(tin.num_vertices(), k), k);
+      auto grp = MeasureRun(&grouped, tin, "");
+      if (!sel.ok() || !grp.ok()) {
+        std::fprintf(stderr, "measurement failed\n");
+        return 1;
+      }
+      table.AddRow({std::to_string(k), FormatSeconds(sel->seconds),
+                    FormatBytes(sel->peak_memory), FormatSeconds(grp->seconds),
+                    FormatBytes(grp->peak_memory)});
+    }
+    std::printf("%s", table.ToString().c_str());
+  }
+  std::printf(
+      "\nExpected shape (paper): runtime roughly flat for k < ~20 (SIMD "
+      "covers the whole\nvector in a few lanes), then linear in k; memory "
+      "linear in k throughout;\nselective and grouped indistinguishable at "
+      "equal k.\n");
+  return 0;
+}

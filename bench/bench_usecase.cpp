@@ -1,0 +1,81 @@
+// Reproduces paper Figure 9: provenance alerts on the Bitcoin network under
+// the proportional policy. After every interaction the receiving vertex is
+// checked; if its balance exceeds a threshold and none of it originates
+// from its direct neighbors, an alert fires ("smurfing" indicator). Alerts
+// with fewer than 5 contributing origins are the paper's red dots.
+#include <cstdio>
+
+#include "analytics/alerts.h"
+#include "analytics/report.h"
+#include "analytics/summary.h"
+#include "bench_util.h"
+#include "policies/proportional_sparse.h"
+#include "util/stopwatch.h"
+#include "util/strings.h"
+
+using namespace tinprov;
+
+int main() {
+  const double scale = bench::GetScale();
+  bench::PrintHeader("Figure 9", "Provenance alerts in Bitcoin (use case)");
+
+  // The paper uses the first 100K Bitcoin interactions with a 10K BTC
+  // threshold; at our default 1/1000 scale a proportionally smaller
+  // threshold produces a comparable alert density.
+  const Tin tin = bench::MustMakeDataset(DatasetKind::kBitcoin, scale * 0.5);
+  AlertConfig config;
+  config.threshold = 25.0;
+  config.few_sources = 5;
+
+  ProportionalSparseTracker tracker(tin.num_vertices());
+  SmurfingAlertEngine engine(&tracker, config);
+  Stopwatch watch;
+  const Status st = engine.ProcessAll(tin);
+  if (!st.ok()) {
+    std::fprintf(stderr, "replay failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  const double seconds = watch.ElapsedSeconds();
+
+  size_t few = 0;
+  for (const Alert& alert : engine.alerts()) few += alert.few_sources ? 1 : 0;
+  std::printf("\n%zu interactions scanned in %s (threshold %.0f units (paper: 10K BTC at full scale))\n",
+              tin.num_interactions(), FormatSeconds(seconds).c_str(),
+              config.threshold);
+  std::printf("alerts: %zu total; %zu 'red' (fewer than %zu origins), %zu "
+              "'blue' (numerous origins)\n\n",
+              engine.alerts().size(), few, config.few_sources,
+              engine.alerts().size() - few);
+
+  TablePrinter table({"tx#", "vertex", "buffered", "#origins", "class"});
+  const size_t show =
+      engine.alerts().size() < 12 ? engine.alerts().size() : 12;
+  for (size_t i = 0; i < show; ++i) {
+    const Alert& a = engine.alerts()[i];
+    table.AddRow({std::to_string(a.interaction_index),
+                  std::to_string(a.vertex), FormatCompact(a.buffered, 2),
+                  std::to_string(a.num_origins),
+                  a.few_sources ? "red (few)" : "blue (many)"});
+  }
+  std::printf("%s", table.ToString().c_str());
+  std::printf(
+      "\nExpected shape (paper): most alerts are 'blue' — large amounts "
+      "assembled from\nnumerous indirect sources, the smurfing signature.\n");
+
+  // Provenance mining over the final state (paper §8 future work): how are
+  // accounts financed, network-wide?
+  const ProvenanceSummary summary = Summarize(tracker);
+  std::printf(
+      "\nProvenance mining: %zu funded accounts; mean %.1f origins "
+      "(max %.0f),\nmean entropy %.2f bits, mean top-origin share %.0f%%\n",
+      summary.nonempty_buffers, summary.mean_origins, summary.max_origins,
+      summary.mean_entropy_bits, summary.mean_top_share * 100.0);
+  const auto concentrated = MostConcentrated(tracker, 3, config.threshold);
+  for (const VertexProvenanceProfile& p : concentrated) {
+    std::printf(
+        "  single-backer candidate: account %u holds %.1f, %.0f%% from one "
+        "origin\n",
+        p.vertex, p.buffered, p.top_share * 100.0);
+  }
+  return 0;
+}

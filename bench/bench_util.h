@@ -1,0 +1,55 @@
+// Shared helpers for the table/figure reproduction harnesses.
+//
+// Every harness accepts the TINPROV_SCALE environment variable (default 1.0
+// = laptop-sized presets, see datagen/presets.h); raise it to approach
+// paper-sized runs. Output is printed as aligned tables whose rows mirror
+// the corresponding paper table or figure series.
+#ifndef TINPROV_BENCH_BENCH_UTIL_H_
+#define TINPROV_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "datagen/presets.h"
+#include "util/status.h"
+
+namespace tinprov::bench {
+
+/// Scale factor from $TINPROV_SCALE, default 1.0.
+inline double GetScale() {
+  const char* env = std::getenv("TINPROV_SCALE");
+  if (env == nullptr) return 1.0;
+  const double scale = std::atof(env);
+  return scale > 0.0 ? scale : 1.0;
+}
+
+/// Generates a preset dataset at the harness scale, aborting on failure
+/// (benchmarks have no meaningful recovery path).
+inline Tin MustMakeDataset(DatasetKind kind, double scale) {
+  auto tin = MakeDataset(kind, scale);
+  if (!tin.ok()) {
+    std::fprintf(stderr, "dataset generation failed for %s: %s\n",
+                 std::string(DatasetName(kind)).c_str(),
+                 tin.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(tin).value();
+}
+
+/// Memory ceiling for the dense proportional tracker, mirroring the paper's
+/// feasibility pattern at default scale: dense fits only on the
+/// small-vertex-set networks (Flights, Taxis), exactly as in Tables 7-8.
+inline constexpr size_t kDenseMemoryLimit = size_t{128} * 1024 * 1024;
+
+/// Prints a section header for a reproduced table/figure.
+inline void PrintHeader(const char* experiment_id, const char* description) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", experiment_id, description);
+  std::printf("(synthetic stand-in datasets; compare shapes, not absolutes)\n");
+  std::printf("==============================================================\n");
+}
+
+}  // namespace tinprov::bench
+
+#endif  // TINPROV_BENCH_BENCH_UTIL_H_
