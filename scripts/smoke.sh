@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Runs every registered bench at a reduced scale and fails on the first
+# non-zero exit, so bench bit-rot is caught cheaply in CI.
+#
+# Usage: scripts/smoke.sh [build-dir]   (default: build)
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+export TINPROV_SCALE="${TINPROV_SCALE:-0.1}"
+
+if [[ ! -d "${BUILD_DIR}/bench" ]]; then
+  echo "error: ${BUILD_DIR}/bench not found — configure and build first:" >&2
+  echo "  cmake -B ${BUILD_DIR} -S . && cmake --build ${BUILD_DIR} -j" >&2
+  exit 1
+fi
+
+run() {
+  local name="$1"
+  shift
+  local exe="${BUILD_DIR}/bench/${name}"
+  if [[ ! -x "${exe}" ]]; then
+    echo "--- skipping ${name} (not built)"
+    return 0
+  fi
+  echo "--- ${name} (TINPROV_SCALE=${TINPROV_SCALE})"
+  "${exe}" "$@" >/dev/null
+  echo "    OK"
+}
+
+run bench_datasets
+run bench_policies
+run bench_cumulative
+run bench_micro --benchmark_min_time=0.01
+
+echo "smoke: all registered benches completed"

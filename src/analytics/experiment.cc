@@ -1,0 +1,57 @@
+#include "analytics/experiment.h"
+
+#include <algorithm>
+
+#include "policies/proportional_dense.h"
+#include "util/stopwatch.h"
+
+namespace tinprov {
+
+StatusOr<Measurement> MeasureRun(Tracker* tracker, const Tin& tin,
+                                 const std::string& label) {
+  if (tracker == nullptr) {
+    return Status::InvalidArgument("null tracker for " + label);
+  }
+  const auto& stream = tin.interactions();
+  // ~64 samples across the run: enough to catch the peak of policies
+  // whose footprint is not monotone (e.g. budgeted tracking later),
+  // cheap enough not to distort the timing.
+  const size_t sample_every = std::max<size_t>(1, stream.size() / 64);
+  size_t peak = tracker->MemoryUsage();
+  Stopwatch watch;
+  for (size_t i = 0; i < stream.size(); ++i) {
+    const Status status = tracker->Process(stream[i]);
+    if (!status.ok()) {
+      return Status(status.code(), "replaying " + label + " at interaction " +
+                                       std::to_string(i) + ": " +
+                                       status.message());
+    }
+    if ((i + 1) % sample_every == 0) {
+      peak = std::max(peak, tracker->MemoryUsage());
+    }
+  }
+  Measurement measurement;
+  measurement.seconds = watch.ElapsedSeconds();
+  measurement.peak_memory = std::max(peak, tracker->MemoryUsage());
+  measurement.feasible = true;
+  return measurement;
+}
+
+StatusOr<Measurement> MeasurePolicy(PolicyKind kind, const Tin& tin,
+                                    const std::string& dataset_name,
+                                    size_t dense_memory_limit) {
+  if (kind == PolicyKind::kProportionalDense && dense_memory_limit > 0 &&
+      DenseMemoryBound(tin.num_vertices()) > dense_memory_limit) {
+    Measurement measurement;
+    measurement.feasible = false;
+    return measurement;
+  }
+  std::unique_ptr<Tracker> tracker = CreateTracker(kind, tin.num_vertices());
+  if (tracker == nullptr) {
+    return Status::InvalidArgument("unknown policy kind");
+  }
+  return MeasureRun(tracker.get(), tin,
+                    dataset_name + "/" + std::string(PolicyName(kind)));
+}
+
+}  // namespace tinprov

@@ -1,0 +1,39 @@
+// Measurement harness shared by the table/figure reproduction benches:
+// replay a tracker over a TIN, timing the run and sampling peak logical
+// provenance memory, with the paper's dense-proportional feasibility
+// gate (the "-" cells of Tables 7-8).
+#ifndef TINPROV_ANALYTICS_EXPERIMENT_H_
+#define TINPROV_ANALYTICS_EXPERIMENT_H_
+
+#include <string>
+
+#include "core/tin.h"
+#include "policies/tracker.h"
+#include "util/status.h"
+
+namespace tinprov {
+
+struct Measurement {
+  double seconds = 0.0;
+  size_t peak_memory = 0;  // peak Tracker::MemoryUsage() during replay
+  bool feasible = true;    // false: skipped by the memory gate, no run
+};
+
+/// Replays `tin` through `tracker`, returning wall time and the peak of
+/// the tracker's logical memory sampled throughout the run. `label` is
+/// used in error messages only.
+StatusOr<Measurement> MeasureRun(Tracker* tracker, const Tin& tin,
+                                 const std::string& label);
+
+/// Creates a tracker for `kind` and measures it. When `kind` is the
+/// dense proportional policy and its worst-case memory over
+/// tin.num_vertices() exceeds `dense_memory_limit`, returns a
+/// measurement with feasible == false instead of running — reproducing
+/// the paper's feasibility pattern. A zero limit disables the gate.
+StatusOr<Measurement> MeasurePolicy(PolicyKind kind, const Tin& tin,
+                                    const std::string& dataset_name,
+                                    size_t dense_memory_limit);
+
+}  // namespace tinprov
+
+#endif  // TINPROV_ANALYTICS_EXPERIMENT_H_

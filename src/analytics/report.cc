@@ -1,0 +1,50 @@
+#include "analytics/report.h"
+
+namespace tinprov {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  row.resize(headers_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string TablePrinter::ToString() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (row[c].size() > widths[c]) widths[c] = row[c].size();
+    }
+  }
+
+  std::string out;
+  auto append_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < headers_.size(); ++c) {
+      if (c > 0) out += "  ";
+      const std::string& cell = row[c];
+      const size_t pad = widths[c] - cell.size();
+      if (c == 0) {
+        out += cell;
+        out.append(pad, ' ');
+      } else {
+        out.append(pad, ' ');
+        out += cell;
+      }
+    }
+    // Trailing spaces on left-aligned last cells are ugly in terminals.
+    while (!out.empty() && out.back() == ' ') out.pop_back();
+    out += '\n';
+  };
+
+  append_row(headers_);
+  size_t total_width = headers_.empty() ? 0 : 2 * (headers_.size() - 1);
+  for (const size_t w : widths) total_width += w;
+  out.append(total_width, '-');
+  out += '\n';
+  for (const auto& row : rows_) append_row(row);
+  return out;
+}
+
+}  // namespace tinprov

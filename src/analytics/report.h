@@ -1,0 +1,35 @@
+// Aligned plain-text tables, mirroring the layout of the paper's tables
+// in bench output.
+#ifndef TINPROV_ANALYTICS_REPORT_H_
+#define TINPROV_ANALYTICS_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "util/memory.h"
+#include "util/strings.h"
+
+namespace tinprov {
+
+/// Collects rows and renders them with per-column alignment: the first
+/// column (labels) left-aligned, the rest (numbers) right-aligned.
+/// Rows shorter than the header are padded with empty cells; longer rows
+/// are truncated.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> row);
+
+  size_t num_rows() const { return rows_.size(); }
+
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace tinprov
+
+#endif  // TINPROV_ANALYTICS_REPORT_H_

@@ -1,0 +1,80 @@
+#include "core/tin.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_set>
+
+namespace tinprov {
+
+Tin::Tin(size_t num_vertices, std::vector<Interaction> interactions)
+    : num_vertices_(num_vertices), interactions_(std::move(interactions)) {
+  std::stable_sort(
+      interactions_.begin(), interactions_.end(),
+      [](const Interaction& a, const Interaction& b) { return a.t < b.t; });
+#ifndef NDEBUG
+  for (const Interaction& interaction : interactions_) {
+    assert(interaction.src < num_vertices_);
+    assert(interaction.dst < num_vertices_);
+  }
+#endif
+
+  // Counting pass, then fill — the usual two-pass CSR build.
+  index_offsets_.assign(num_vertices_ + 1, 0);
+  for (const Interaction& interaction : interactions_) {
+    ++index_offsets_[interaction.src + 1];
+    if (interaction.dst != interaction.src) {
+      ++index_offsets_[interaction.dst + 1];
+    }
+  }
+  for (size_t v = 0; v < num_vertices_; ++v) {
+    index_offsets_[v + 1] += index_offsets_[v];
+  }
+  index_entries_.resize(index_offsets_[num_vertices_]);
+  std::vector<uint32_t> cursor(index_offsets_.begin(),
+                               index_offsets_.end() - 1);
+  for (size_t i = 0; i < interactions_.size(); ++i) {
+    const Interaction& interaction = interactions_[i];
+    index_entries_[cursor[interaction.src]++] = static_cast<uint32_t>(i);
+    if (interaction.dst != interaction.src) {
+      index_entries_[cursor[interaction.dst]++] = static_cast<uint32_t>(i);
+    }
+  }
+}
+
+const uint32_t* Tin::VertexInteractions(VertexId v, size_t* count) const {
+  if (v >= num_vertices_) {
+    *count = 0;
+    return nullptr;
+  }
+  *count = index_offsets_[v + 1] - index_offsets_[v];
+  return index_entries_.data() + index_offsets_[v];
+}
+
+size_t Tin::MemoryUsage() const {
+  return interactions_.capacity() * sizeof(Interaction) +
+         index_offsets_.capacity() * sizeof(uint32_t) +
+         index_entries_.capacity() * sizeof(uint32_t);
+}
+
+TinStats Tin::ComputeStats() const {
+  TinStats stats;
+  stats.num_vertices = num_vertices_;
+  stats.num_interactions = interactions_.size();
+  std::unordered_set<uint64_t> edges;
+  edges.reserve(interactions_.size());
+  double quantity_sum = 0.0;
+  for (const Interaction& interaction : interactions_) {
+    edges.insert((static_cast<uint64_t>(interaction.src) << 32) |
+                 interaction.dst);
+    quantity_sum += interaction.quantity;
+    stats.num_self_loops += interaction.src == interaction.dst ? 1 : 0;
+  }
+  stats.num_edges = edges.size();
+  stats.avg_quantity = interactions_.empty()
+                           ? 0.0
+                           : quantity_sum /
+                                 static_cast<double>(interactions_.size());
+  return stats;
+}
+
+}  // namespace tinprov

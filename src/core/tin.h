@@ -1,0 +1,63 @@
+// The Tin container: an immutable, time-sorted interaction log plus a
+// per-vertex index over it.
+#ifndef TINPROV_CORE_TIN_H_
+#define TINPROV_CORE_TIN_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/types.h"
+
+namespace tinprov {
+
+/// Aggregate characteristics, mirroring paper Table 6.
+struct TinStats {
+  size_t num_vertices = 0;
+  size_t num_interactions = 0;
+  size_t num_edges = 0;       // distinct (src, dst) pairs
+  size_t num_self_loops = 0;  // interactions with src == dst
+  double avg_quantity = 0.0;
+};
+
+/// An immutable temporal interaction network. Construction sorts the log
+/// by timestamp (stable, so simultaneous interactions keep their input
+/// order) and builds a CSR index from each vertex to the interactions
+/// that touch it, in time order.
+class Tin {
+ public:
+  Tin() = default;
+
+  /// `num_vertices` must cover every id referenced by `interactions`.
+  Tin(size_t num_vertices, std::vector<Interaction> interactions);
+
+  size_t num_vertices() const { return num_vertices_; }
+  size_t num_interactions() const { return interactions_.size(); }
+
+  /// Time-sorted interaction log.
+  const std::vector<Interaction>& interactions() const {
+    return interactions_;
+  }
+
+  /// Indices (into interactions()) of the interactions where `v` is the
+  /// source or the destination, in time order. Self-loops appear once.
+  /// This is the slicing index used by replay-on-demand engines.
+  const uint32_t* VertexInteractions(VertexId v, size_t* count) const;
+
+  /// Bytes held by the log and the vertex index.
+  size_t MemoryUsage() const;
+
+  /// Scans the log; O(|interactions|) time, O(|edges|) space.
+  TinStats ComputeStats() const;
+
+ private:
+  size_t num_vertices_ = 0;
+  std::vector<Interaction> interactions_;
+  // CSR layout: index_offsets_[v] .. index_offsets_[v+1] span
+  // index_entries_ with interaction indices touching v.
+  std::vector<uint32_t> index_offsets_;
+  std::vector<uint32_t> index_entries_;
+};
+
+}  // namespace tinprov
+
+#endif  // TINPROV_CORE_TIN_H_

@@ -1,0 +1,33 @@
+// Fundamental value types of a temporal interaction network (TIN).
+//
+// Following the paper's model (Definition 1): a TIN is a graph whose
+// edges carry a time-ordered sequence of interactions; each interaction
+// (src, dst, t, quantity) moves `quantity` units from src's buffer to
+// dst's buffer at time t. When src holds less than `quantity`, the
+// deficit is newly generated at src at time t.
+#ifndef TINPROV_CORE_TYPES_H_
+#define TINPROV_CORE_TYPES_H_
+
+#include <cstdint>
+
+namespace tinprov {
+
+/// Dense vertex identifier in [0, num_vertices).
+using VertexId = uint32_t;
+
+/// Interaction timestamp. Continuous to support scaled synthetic streams
+/// and fractional historical queries.
+using Timestamp = double;
+
+constexpr VertexId kInvalidVertex = static_cast<VertexId>(-1);
+
+struct Interaction {
+  VertexId src = 0;
+  VertexId dst = 0;
+  Timestamp t = 0.0;
+  double quantity = 0.0;
+};
+
+}  // namespace tinprov
+
+#endif  // TINPROV_CORE_TYPES_H_

@@ -1,0 +1,106 @@
+#include "datagen/generator.h"
+
+#include <cmath>
+#include <numeric>
+#include <optional>
+#include <vector>
+
+#include "util/random.h"
+
+namespace tinprov {
+
+namespace {
+
+double SampleQuantity(const GeneratorConfig& config, Rng& rng) {
+  switch (config.quantity_model) {
+    case QuantityModel::kFixed:
+      return config.quantity_param1;
+    case QuantityModel::kUniform:
+      return config.quantity_param1 +
+             (config.quantity_param2 - config.quantity_param1) *
+                 rng.NextDouble();
+    case QuantityModel::kLogNormal:
+      return std::exp(config.quantity_param1 +
+                      config.quantity_param2 * rng.NextGaussian());
+    case QuantityModel::kPareto:
+      return config.quantity_param1 *
+             std::pow(1.0 - rng.NextDouble(), -1.0 / config.quantity_param2);
+  }
+  return 0.0;
+}
+
+// Fisher-Yates permutation of [0, n), so that the Zipf head does not
+// coincide across the source and destination distributions.
+std::vector<VertexId> RandomPermutation(size_t n, Rng& rng) {
+  std::vector<VertexId> perm(n);
+  std::iota(perm.begin(), perm.end(), VertexId{0});
+  for (size_t i = n; i > 1; --i) {
+    std::swap(perm[i - 1], perm[rng.NextBounded(i)]);
+  }
+  return perm;
+}
+
+}  // namespace
+
+StatusOr<Tin> Generate(const GeneratorConfig& config) {
+  if (config.num_vertices == 0) {
+    return Status::InvalidArgument("num_vertices must be positive");
+  }
+  if (config.num_interactions == 0) {
+    return Status::InvalidArgument("num_interactions must be positive");
+  }
+  if (config.num_vertices > static_cast<size_t>(kInvalidVertex)) {
+    return Status::InvalidArgument("num_vertices exceeds VertexId range");
+  }
+  if (config.mean_inter_arrival <= 0.0) {
+    return Status::InvalidArgument("mean_inter_arrival must be positive");
+  }
+  if (config.self_loop_fraction < 0.0 || config.self_loop_fraction > 1.0) {
+    return Status::InvalidArgument("self_loop_fraction must be in [0, 1]");
+  }
+  if (config.quantity_model == QuantityModel::kPareto &&
+      config.quantity_param2 <= 0.0) {
+    return Status::InvalidArgument("Pareto alpha must be positive");
+  }
+
+  Rng rng(config.seed);
+  std::optional<ZipfDistribution> src_zipf;
+  std::optional<ZipfDistribution> dst_zipf;
+  if (config.src_skew > 0.0) {
+    src_zipf.emplace(config.num_vertices, config.src_skew);
+  }
+  if (config.dst_skew > 0.0) {
+    dst_zipf.emplace(config.num_vertices, config.dst_skew);
+  }
+  const std::vector<VertexId> src_perm =
+      RandomPermutation(config.num_vertices, rng);
+  const std::vector<VertexId> dst_perm =
+      RandomPermutation(config.num_vertices, rng);
+
+  std::vector<Interaction> interactions;
+  interactions.reserve(config.num_interactions);
+  double t = 0.0;
+  for (size_t i = 0; i < config.num_interactions; ++i) {
+    // Exponential inter-arrival keeps timestamps strictly increasing in
+    // expectation and distinct with probability 1.
+    t += -config.mean_inter_arrival * std::log(1.0 - rng.NextDouble() + 1e-300);
+    Interaction interaction;
+    interaction.t = t;
+    interaction.src =
+        src_perm[src_zipf ? (*src_zipf)(rng)
+                          : rng.NextBounded(config.num_vertices)];
+    if (config.self_loop_fraction > 0.0 &&
+        rng.NextDouble() < config.self_loop_fraction) {
+      interaction.dst = interaction.src;
+    } else {
+      interaction.dst =
+          dst_perm[dst_zipf ? (*dst_zipf)(rng)
+                            : rng.NextBounded(config.num_vertices)];
+    }
+    interaction.quantity = SampleQuantity(config, rng);
+    interactions.push_back(interaction);
+  }
+  return Tin(config.num_vertices, std::move(interactions));
+}
+
+}  // namespace tinprov

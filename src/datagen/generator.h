@@ -1,0 +1,48 @@
+// Seeded synthetic TIN generator. Source/destination popularity follows
+// independent Zipf distributions over randomly permuted vertex ids;
+// inter-arrival times are exponential; quantities come from a pluggable
+// marginal. Identical configs always produce identical streams.
+#ifndef TINPROV_DATAGEN_GENERATOR_H_
+#define TINPROV_DATAGEN_GENERATOR_H_
+
+#include <cstdint>
+
+#include "core/tin.h"
+#include "util/status.h"
+
+namespace tinprov {
+
+enum class QuantityModel {
+  kFixed,      // param1 = value
+  kUniform,    // param1 = low, param2 = high
+  kLogNormal,  // param1 = mu, param2 = sigma (of the underlying normal)
+  kPareto,     // param1 = minimum, param2 = alpha (tail index)
+};
+
+struct GeneratorConfig {
+  size_t num_vertices = 0;
+  size_t num_interactions = 0;
+
+  // Zipf skew of the source / destination popularity distribution;
+  // values <= 0 mean uniform.
+  double src_skew = 1.0;
+  double dst_skew = 1.0;
+
+  QuantityModel quantity_model = QuantityModel::kLogNormal;
+  double quantity_param1 = 0.0;
+  double quantity_param2 = 1.0;
+
+  // Probability that an interaction is forced into a self-loop (on top
+  // of the self-loops Zipf sampling produces by chance).
+  double self_loop_fraction = 0.0;
+
+  double mean_inter_arrival = 1.0;
+  uint64_t seed = 42;
+};
+
+/// Generates a time-sorted TIN; fails on empty or inconsistent configs.
+StatusOr<Tin> Generate(const GeneratorConfig& config);
+
+}  // namespace tinprov
+
+#endif  // TINPROV_DATAGEN_GENERATOR_H_

@@ -1,0 +1,39 @@
+// Named synthetic stand-ins for the paper's five evaluation datasets
+// (Table 6), scaled so that a laptop reproduces the tables' *shapes* in
+// seconds. TINPROV_SCALE (read by the bench harnesses) multiplies the
+// interaction counts; vertex counts only grow beyond the base when
+// scale > 1, so the dense-proportional feasibility pattern (dense fits
+// only on Flights and Taxis) is stable across scales.
+#ifndef TINPROV_DATAGEN_PRESETS_H_
+#define TINPROV_DATAGEN_PRESETS_H_
+
+#include <string_view>
+#include <vector>
+
+#include "datagen/generator.h"
+
+namespace tinprov {
+
+enum class DatasetKind {
+  kBitcoin,  // 12M nodes / 45.5M interactions at full size; heavy tails
+  kCtu,      // network-traffic flows; bytes as quantity
+  kProsper,  // loan marketplace; dollar quantities
+  kFlights,  // 629 airports, very high interactions-per-vertex
+  kTaxis,    // 255 zones, passenger counts; many self-loops
+};
+
+std::string_view DatasetName(DatasetKind kind);
+
+/// All presets in the paper's Table 6 row order.
+std::vector<DatasetKind> AllDatasets();
+
+/// The generator configuration behind a preset at a given scale —
+/// exposed so tests and future harnesses can inspect or tweak it.
+GeneratorConfig PresetConfig(DatasetKind kind, double scale);
+
+/// Generates the preset. scale <= 0 is invalid.
+StatusOr<Tin> MakeDataset(DatasetKind kind, double scale);
+
+}  // namespace tinprov
+
+#endif  // TINPROV_DATAGEN_PRESETS_H_

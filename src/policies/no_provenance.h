@@ -1,0 +1,47 @@
+// The no-provenance baseline: scalar balances only. Measures the
+// irreducible cost of replaying the interaction stream, against which
+// every provenance policy's overhead is reported (paper Table 7's first
+// column).
+#ifndef TINPROV_POLICIES_NO_PROVENANCE_H_
+#define TINPROV_POLICIES_NO_PROVENANCE_H_
+
+#include <vector>
+
+#include "policies/tracker.h"
+
+namespace tinprov {
+
+class NoProvenanceTracker : public Tracker {
+ public:
+  explicit NoProvenanceTracker(size_t num_vertices)
+      : Tracker(num_vertices), balance_(num_vertices, 0.0) {}
+
+  Status Process(const Interaction& interaction) override {
+    auto deficit = CheckAndComputeDeficit(interaction, balance_);
+    if (!deficit.ok()) return deficit.status();
+    balance_[interaction.src] += *deficit;
+    balance_[interaction.src] -= interaction.quantity;
+    balance_[interaction.dst] += interaction.quantity;
+    return Status::Ok();
+  }
+
+  double BufferTotal(VertexId v) const override { return balance_[v]; }
+
+  /// No breakdown is known — only the total.
+  Buffer Provenance(VertexId v) const override {
+    Buffer buffer;
+    buffer.total = balance_[v];
+    return buffer;
+  }
+
+  size_t MemoryUsage() const override {
+    return balance_.capacity() * sizeof(double);
+  }
+
+ private:
+  std::vector<double> balance_;
+};
+
+}  // namespace tinprov
+
+#endif  // TINPROV_POLICIES_NO_PROVENANCE_H_

@@ -1,0 +1,60 @@
+#include "policies/proportional_dense.h"
+
+#include <algorithm>
+
+#include "util/simd.h"
+
+namespace tinprov {
+
+std::vector<double>& ProportionalDenseTracker::EnsureBuffer(VertexId v) {
+  std::vector<double>& buffer = buffers_[v];
+  if (buffer.empty()) {
+    buffer.assign(num_vertices_, 0.0);
+    ++num_allocated_;
+  }
+  return buffer;
+}
+
+Status ProportionalDenseTracker::Process(const Interaction& interaction) {
+  auto deficit = CheckAndComputeDeficit(interaction, totals_);
+  if (!deficit.ok()) return deficit.status();
+  if (*deficit > 0.0) {
+    EnsureBuffer(interaction.src)[interaction.src] += *deficit;
+    totals_[interaction.src] += *deficit;
+  }
+
+  if (interaction.quantity == 0.0 ||
+      interaction.src == interaction.dst) {
+    return Status::Ok();
+  }
+
+  const double fraction =
+      std::min(1.0, interaction.quantity / totals_[interaction.src]);
+  std::vector<double>& src_buffer = EnsureBuffer(interaction.src);
+  std::vector<double>& dst_buffer = EnsureBuffer(interaction.dst);
+  simd::TransferFraction(dst_buffer.data(), src_buffer.data(), fraction,
+                         num_vertices_);
+  totals_[interaction.src] -= interaction.quantity;
+  totals_[interaction.dst] += interaction.quantity;
+  return Status::Ok();
+}
+
+Buffer ProportionalDenseTracker::Provenance(VertexId v) const {
+  Buffer result;
+  result.total = totals_[v];
+  const std::vector<double>& buffer = buffers_[v];
+  for (size_t origin = 0; origin < buffer.size(); ++origin) {
+    if (buffer[origin] > 0.0) {
+      result.entries.push_back(
+          {static_cast<VertexId>(origin), buffer[origin]});
+    }
+  }
+  return result;
+}
+
+size_t ProportionalDenseTracker::MemoryUsage() const {
+  return num_allocated_ * num_vertices_ * sizeof(double) +
+         totals_.capacity() * sizeof(double);
+}
+
+}  // namespace tinprov

@@ -1,0 +1,49 @@
+// Proportional selection, dense representation (paper Section 4.3):
+// each vertex holds a |V|-length vector indexed by origin, so transfers
+// are branch-free vector kernels (util/simd.h) with no allocation or
+// merge logic. Worst-case memory is |V|^2 doubles — feasible only on
+// the small-vertex-set networks, which is exactly the "-" pattern of
+// paper Tables 7-8; MeasurePolicy gates on DenseMemoryBound().
+#ifndef TINPROV_POLICIES_PROPORTIONAL_DENSE_H_
+#define TINPROV_POLICIES_PROPORTIONAL_DENSE_H_
+
+#include <vector>
+
+#include "policies/tracker.h"
+
+namespace tinprov {
+
+/// Worst-case bytes of dense proportional state over `num_vertices`.
+inline size_t DenseMemoryBound(size_t num_vertices) {
+  return num_vertices * num_vertices * sizeof(double);
+}
+
+class ProportionalDenseTracker : public Tracker {
+ public:
+  explicit ProportionalDenseTracker(size_t num_vertices)
+      : Tracker(num_vertices),
+        buffers_(num_vertices),
+        totals_(num_vertices, 0.0) {}
+
+  Status Process(const Interaction& interaction) override;
+  double BufferTotal(VertexId v) const override { return totals_[v]; }
+
+  /// Non-zero origins in ascending order — directly comparable with
+  /// ProportionalSparseTracker::Provenance().
+  Buffer Provenance(VertexId v) const override;
+
+  size_t MemoryUsage() const override;
+
+ private:
+  /// Vectors are allocated on a vertex's first credit, so actual memory
+  /// is (#touched vertices) * |V| * 8 rather than the worst case.
+  std::vector<double>& EnsureBuffer(VertexId v);
+
+  std::vector<std::vector<double>> buffers_;
+  std::vector<double> totals_;
+  size_t num_allocated_ = 0;
+};
+
+}  // namespace tinprov
+
+#endif  // TINPROV_POLICIES_PROPORTIONAL_DENSE_H_

@@ -1,0 +1,85 @@
+#include "policies/tracker.h"
+
+#include <cmath>
+
+#include "policies/generation_order.h"
+#include "policies/no_provenance.h"
+#include "policies/proportional_dense.h"
+#include "policies/proportional_sparse.h"
+#include "policies/receipt_order.h"
+
+namespace tinprov {
+
+std::string_view PolicyName(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kNoProvenance:
+      return "NoProv";
+    case PolicyKind::kLifo:
+      return "LIFO";
+    case PolicyKind::kFifo:
+      return "FIFO";
+    case PolicyKind::kLrb:
+      return "LRB";
+    case PolicyKind::kMrb:
+      return "MRB";
+    case PolicyKind::kProportionalSparse:
+      return "Prop-sparse";
+    case PolicyKind::kProportionalDense:
+      return "Prop-dense";
+  }
+  return "?";
+}
+
+Status Tracker::ProcessAll(const Tin& tin) {
+  for (const Interaction& interaction : tin.interactions()) {
+    const Status status = Process(interaction);
+    if (!status.ok()) return status;
+  }
+  return Status::Ok();
+}
+
+StatusOr<double> Tracker::CheckAndComputeDeficit(
+    const Interaction& interaction, const std::vector<double>& totals) {
+  if (interaction.src >= num_vertices_ ||
+      interaction.dst >= num_vertices_) {
+    return Status::InvalidArgument("interaction references vertex beyond " +
+                                   std::to_string(num_vertices_));
+  }
+  if (!std::isfinite(interaction.quantity) || interaction.quantity < 0.0) {
+    return Status::InvalidArgument("interaction quantity must be finite and "
+                                   "non-negative");
+  }
+  const double deficit = interaction.quantity - totals[interaction.src];
+  if (deficit <= 0.0) return 0.0;
+  total_generated_ += deficit;
+  return deficit;
+}
+
+std::unique_ptr<Tracker> CreateTracker(PolicyKind kind, size_t num_vertices) {
+  switch (kind) {
+    case PolicyKind::kNoProvenance:
+      return std::make_unique<NoProvenanceTracker>(num_vertices);
+    case PolicyKind::kLifo:
+      return std::make_unique<LifoTracker>(num_vertices);
+    case PolicyKind::kFifo:
+      return std::make_unique<FifoTracker>(num_vertices);
+    case PolicyKind::kLrb:
+      return std::make_unique<LrbTracker>(num_vertices);
+    case PolicyKind::kMrb:
+      return std::make_unique<MrbTracker>(num_vertices);
+    case PolicyKind::kProportionalSparse:
+      return std::make_unique<ProportionalSparseTracker>(num_vertices);
+    case PolicyKind::kProportionalDense:
+      return std::make_unique<ProportionalDenseTracker>(num_vertices);
+  }
+  return nullptr;
+}
+
+std::vector<PolicyKind> AllPolicies() {
+  return {PolicyKind::kNoProvenance,       PolicyKind::kLifo,
+          PolicyKind::kFifo,               PolicyKind::kLrb,
+          PolicyKind::kMrb,                PolicyKind::kProportionalSparse,
+          PolicyKind::kProportionalDense};
+}
+
+}  // namespace tinprov

@@ -1,0 +1,92 @@
+// The common interface of every selection-policy tracker and the factory
+// that the benches and future lazy/scalable layers build on.
+//
+// A tracker replays a TIN interaction-by-interaction and maintains, per
+// vertex, the provenance of its buffered quantity under one of the
+// paper's selection policies (Sections 4.1-4.3). All trackers share the
+// generation rule: if an interaction sends more than the source holds,
+// the deficit is newly generated at the source at the interaction's
+// timestamp, so total buffered quantity always equals total generated
+// quantity (conservation of flow).
+#ifndef TINPROV_POLICIES_TRACKER_H_
+#define TINPROV_POLICIES_TRACKER_H_
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "core/buffer.h"
+#include "core/tin.h"
+#include "core/types.h"
+#include "util/status.h"
+
+namespace tinprov {
+
+enum class PolicyKind {
+  kNoProvenance,        // scalar balances only — the runtime baseline
+  kLifo,                // receipt order, last-received spent first
+  kFifo,                // receipt order, first-received spent first
+  kLrb,                 // generation order, least recently born first
+  kMrb,                 // generation order, most recently born first
+  kProportionalSparse,  // pro-rata, per-origin sorted lists
+  kProportionalDense,   // pro-rata, |V|-length vectors (memory-gated)
+};
+
+/// Short display name as used in the paper's table headers.
+std::string_view PolicyName(PolicyKind kind);
+
+class Tracker {
+ public:
+  explicit Tracker(size_t num_vertices) : num_vertices_(num_vertices) {}
+  virtual ~Tracker() = default;
+
+  Tracker(const Tracker&) = delete;
+  Tracker& operator=(const Tracker&) = delete;
+
+  /// Applies one interaction. Interactions must be fed in time order
+  /// (ProcessAll guarantees this; manual callers are on their own).
+  virtual Status Process(const Interaction& interaction) = 0;
+
+  /// Replays the whole log in time order.
+  Status ProcessAll(const Tin& tin);
+
+  /// Buffered quantity at `v`.
+  virtual double BufferTotal(VertexId v) const = 0;
+
+  /// Snapshot of `v`'s provenance breakdown.
+  virtual Buffer Provenance(VertexId v) const = 0;
+
+  /// Logical bytes of standing provenance state (paper Table 8): stored
+  /// tuples plus the per-vertex balance array, excluding allocator and
+  /// container-header overhead so representations stay comparable. Must
+  /// be O(1): measurement harnesses sample it inside the replay loop.
+  virtual size_t MemoryUsage() const = 0;
+
+  size_t num_vertices() const { return num_vertices_; }
+
+  /// Total quantity generated so far across all vertices; equals the sum
+  /// of all buffer totals under conservation of flow.
+  double total_generated() const { return total_generated_; }
+
+ protected:
+  /// Shared validity check + deficit computation. Validates the
+  /// interaction against num_vertices_ before touching `totals` (so
+  /// out-of-range ids never index it), then returns the quantity that
+  /// must be newly generated at the source (0 if the buffer covers the
+  /// send), accumulating total_generated_.
+  StatusOr<double> CheckAndComputeDeficit(const Interaction& interaction,
+                                          const std::vector<double>& totals);
+
+  size_t num_vertices_;
+  double total_generated_ = 0.0;
+};
+
+/// Builds a tracker for `kind` over `num_vertices` vertices.
+std::unique_ptr<Tracker> CreateTracker(PolicyKind kind, size_t num_vertices);
+
+/// All policies in the paper's Table 7/8 column order.
+std::vector<PolicyKind> AllPolicies();
+
+}  // namespace tinprov
+
+#endif  // TINPROV_POLICIES_TRACKER_H_

@@ -1,0 +1,56 @@
+#include "util/memory.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace tinprov {
+
+namespace {
+
+// Reads a "VmRSS:  1234 kB"-style field from /proc/self/status.
+size_t ReadProcStatusKb(const char* field) {
+#if defined(__linux__)
+  std::FILE* file = std::fopen("/proc/self/status", "r");
+  if (file == nullptr) return 0;
+  const size_t field_len = std::strlen(field);
+  char line[256];
+  size_t kb = 0;
+  while (std::fgets(line, sizeof(line), file) != nullptr) {
+    if (std::strncmp(line, field, field_len) == 0) {
+      unsigned long long value = 0;
+      if (std::sscanf(line + field_len, " %llu", &value) == 1) {
+        kb = static_cast<size_t>(value);
+      }
+      break;
+    }
+  }
+  std::fclose(file);
+  return kb;
+#else
+  (void)field;
+  return 0;
+#endif
+}
+
+}  // namespace
+
+std::string FormatBytes(size_t bytes) {
+  char buf[64];
+  const double b = static_cast<double>(bytes);
+  if (bytes >= (size_t{1} << 30)) {
+    std::snprintf(buf, sizeof(buf), "%.1fGB", b / static_cast<double>(size_t{1} << 30));
+  } else if (bytes >= (size_t{1} << 20)) {
+    std::snprintf(buf, sizeof(buf), "%.1fMB", b / static_cast<double>(size_t{1} << 20));
+  } else if (bytes >= (size_t{1} << 10)) {
+    std::snprintf(buf, sizeof(buf), "%.1fKB", b / static_cast<double>(size_t{1} << 10));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%zuB", bytes);
+  }
+  return std::string(buf);
+}
+
+size_t CurrentRssBytes() { return ReadProcStatusKb("VmRSS:") * 1024; }
+
+size_t PeakRssBytes() { return ReadProcStatusKb("VmHWM:") * 1024; }
+
+}  // namespace tinprov

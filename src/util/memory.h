@@ -1,0 +1,27 @@
+// Memory accounting: byte formatting plus process-level RSS probes.
+//
+// Logical provenance memory (what paper Table 8 reports) is computed by
+// each tracker's MemoryUsage(); the RSS probes here exist for sanity
+// checks and for harnesses that want a whole-process view.
+#ifndef TINPROV_UTIL_MEMORY_H_
+#define TINPROV_UTIL_MEMORY_H_
+
+#include <cstddef>
+#include <string>
+
+namespace tinprov {
+
+/// Formats a byte count with binary units: "512B", "1.5KB", "2.3MB", "1.1GB".
+std::string FormatBytes(size_t bytes);
+
+/// Current resident set size of this process in bytes; 0 if unavailable
+/// (non-Linux platforms).
+size_t CurrentRssBytes();
+
+/// Peak resident set size (VmHWM) of this process in bytes; 0 if
+/// unavailable.
+size_t PeakRssBytes();
+
+}  // namespace tinprov
+
+#endif  // TINPROV_UTIL_MEMORY_H_

@@ -1,0 +1,87 @@
+// Dense-vector kernels for the proportional tracker's |V|-length buffers.
+//
+// The scalar loops below are written so the compiler can auto-vectorize
+// them at -O2/-O3; an explicit AVX2 path is provided when the translation
+// unit is compiled with -mavx2 (the build does not force it, keeping the
+// binaries portable). All functions tolerate n == 0 and require dst/src
+// to be non-overlapping unless noted.
+#ifndef TINPROV_UTIL_SIMD_H_
+#define TINPROV_UTIL_SIMD_H_
+
+#include <cstddef>
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+#endif
+
+namespace tinprov::simd {
+
+/// dst[i] += src[i].
+inline void Add(double* dst, const double* src, size_t n) {
+  size_t i = 0;
+#if defined(__AVX2__)
+  for (; i + 4 <= n; i += 4) {
+    const __m256d d = _mm256_loadu_pd(dst + i);
+    const __m256d s = _mm256_loadu_pd(src + i);
+    _mm256_storeu_pd(dst + i, _mm256_add_pd(d, s));
+  }
+#endif
+  for (; i < n; ++i) dst[i] += src[i];
+}
+
+/// dst[i] *= factor.
+inline void Scale(double* dst, double factor, size_t n) {
+  size_t i = 0;
+#if defined(__AVX2__)
+  const __m256d f = _mm256_set1_pd(factor);
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(dst + i, _mm256_mul_pd(_mm256_loadu_pd(dst + i), f));
+  }
+#endif
+  for (; i < n; ++i) dst[i] *= factor;
+}
+
+/// Moves a fraction of src into dst, elementwise:
+///   dst[i] += fraction * src[i];  src[i] *= (1 - fraction).
+/// This is the inner loop of a proportional transfer between two dense
+/// provenance vectors. src is mutated; dst and src must not alias.
+inline void TransferFraction(double* dst, double* src, double fraction,
+                             size_t n) {
+  const double keep = 1.0 - fraction;
+  size_t i = 0;
+#if defined(__AVX2__)
+  const __m256d f = _mm256_set1_pd(fraction);
+  const __m256d k = _mm256_set1_pd(keep);
+  for (; i + 4 <= n; i += 4) {
+    const __m256d s = _mm256_loadu_pd(src + i);
+    const __m256d d = _mm256_loadu_pd(dst + i);
+    _mm256_storeu_pd(dst + i, _mm256_fmadd_pd(f, s, d));
+    _mm256_storeu_pd(src + i, _mm256_mul_pd(s, k));
+  }
+#endif
+  for (; i < n; ++i) {
+    dst[i] += fraction * src[i];
+    src[i] *= keep;
+  }
+}
+
+/// Returns sum(src[0..n)).
+inline double Sum(const double* src, size_t n) {
+  double total = 0.0;
+  size_t i = 0;
+#if defined(__AVX2__)
+  __m256d acc = _mm256_setzero_pd();
+  for (; i + 4 <= n; i += 4) {
+    acc = _mm256_add_pd(acc, _mm256_loadu_pd(src + i));
+  }
+  alignas(32) double lanes[4];
+  _mm256_store_pd(lanes, acc);
+  total = lanes[0] + lanes[1] + lanes[2] + lanes[3];
+#endif
+  for (; i < n; ++i) total += src[i];
+  return total;
+}
+
+}  // namespace tinprov::simd
+
+#endif  // TINPROV_UTIL_SIMD_H_

@@ -1,0 +1,146 @@
+// Minimal Status / StatusOr error-handling vocabulary for tinprov.
+//
+// Benchmarks and library code return Status for operations that can fail
+// (bad interactions, infeasible configurations) and StatusOr<T> for
+// fallible factories (dataset generation, index construction).
+#ifndef TINPROV_UTIL_STATUS_H_
+#define TINPROV_UTIL_STATUS_H_
+
+#include <cassert>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace tinprov {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kFailedPrecondition = 2,
+  kResourceExhausted = 3,
+  kNotFound = 4,
+  kInternal = 5,
+};
+
+/// Returns the canonical name of a status code ("OK", "INVALID_ARGUMENT", ...).
+std::string_view StatusCodeName(StatusCode code);
+
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string message) {
+    return Status(StatusCode::kInvalidArgument, std::move(message));
+  }
+  static Status FailedPrecondition(std::string message) {
+    return Status(StatusCode::kFailedPrecondition, std::move(message));
+  }
+  static Status ResourceExhausted(std::string message) {
+    return Status(StatusCode::kResourceExhausted, std::move(message));
+  }
+  static Status NotFound(std::string message) {
+    return Status(StatusCode::kNotFound, std::move(message));
+  }
+  static Status Internal(std::string message) {
+    return Status(StatusCode::kInternal, std::move(message));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const {
+    if (ok()) return "OK";
+    std::string out(StatusCodeName(code_));
+    if (!message_.empty()) {
+      out += ": ";
+      out += message_;
+    }
+    return out;
+  }
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::string_view StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case StatusCode::kFailedPrecondition:
+      return "FAILED_PRECONDITION";
+    case StatusCode::kResourceExhausted:
+      return "RESOURCE_EXHAUSTED";
+    case StatusCode::kNotFound:
+      return "NOT_FOUND";
+    case StatusCode::kInternal:
+      return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+/// Either a value of type T or a non-OK Status. Accessors assert on misuse:
+/// callers must check ok() before dereferencing.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(const T& value) : status_(), value_(value), has_value_(true) {}
+  StatusOr(T&& value)
+      : status_(), value_(std::move(value)), has_value_(true) {}
+  StatusOr(Status status) : status_(std::move(status)), has_value_(false) {
+    assert(!status_.ok() && "StatusOr constructed from OK status");
+  }
+
+  StatusOr(const StatusOr&) = default;
+  StatusOr(StatusOr&&) = default;
+  StatusOr& operator=(const StatusOr&) = default;
+  StatusOr& operator=(StatusOr&&) = default;
+
+  bool ok() const { return has_value_; }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(has_value_);
+    return value_;
+  }
+  T& value() & {
+    assert(has_value_);
+    return value_;
+  }
+  T&& value() && {
+    assert(has_value_);
+    return std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+
+  const T* operator->() const {
+    assert(has_value_);
+    return &value_;
+  }
+  T* operator->() {
+    assert(has_value_);
+    return &value_;
+  }
+
+ private:
+  Status status_;
+  T value_{};
+  bool has_value_;
+};
+
+}  // namespace tinprov
+
+#endif  // TINPROV_UTIL_STATUS_H_

@@ -1,0 +1,33 @@
+// Monotonic wall-clock stopwatch used by every measurement harness.
+#ifndef TINPROV_UTIL_STOPWATCH_H_
+#define TINPROV_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace tinprov {
+
+/// Starts running on construction; ElapsedSeconds() can be read repeatedly.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  int64_t ElapsedNanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace tinprov
+
+#endif  // TINPROV_UTIL_STOPWATCH_H_

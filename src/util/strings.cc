@@ -1,0 +1,41 @@
+#include "util/strings.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace tinprov {
+
+namespace {
+
+std::string Printf(const char* fmt, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), fmt, value);
+  return std::string(buf);
+}
+
+std::string PrintfDecimals(double value, int decimals, const char* suffix) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%s", decimals, value, suffix);
+  return std::string(buf);
+}
+
+}  // namespace
+
+std::string FormatSeconds(double seconds) {
+  if (!std::isfinite(seconds) || seconds < 0.0) return "-";
+  if (seconds >= 1.0) return Printf("%.2fs", seconds);
+  if (seconds >= 1e-3) return Printf("%.1fms", seconds * 1e3);
+  if (seconds >= 1e-6) return Printf("%.0fus", seconds * 1e6);
+  return Printf("%.0fns", seconds * 1e9);
+}
+
+std::string FormatCompact(double value, int decimals) {
+  if (!std::isfinite(value)) return "-";
+  const double magnitude = std::fabs(value);
+  if (magnitude >= 1e9) return PrintfDecimals(value / 1e9, decimals, "B");
+  if (magnitude >= 1e6) return PrintfDecimals(value / 1e6, decimals, "M");
+  if (magnitude >= 1e3) return PrintfDecimals(value / 1e3, decimals, "K");
+  return PrintfDecimals(value, decimals, "");
+}
+
+}  // namespace tinprov

@@ -1,0 +1,19 @@
+// Human-readable number formatting shared by the bench tables.
+#ifndef TINPROV_UTIL_STRINGS_H_
+#define TINPROV_UTIL_STRINGS_H_
+
+#include <string>
+
+namespace tinprov {
+
+/// Formats a duration with an adaptive unit: "1.42s", "37.1ms", "820us",
+/// "95ns". Negative or non-finite inputs render as "-".
+std::string FormatSeconds(double seconds);
+
+/// Formats a value compactly with K/M/B suffixes above 1000:
+/// FormatCompact(19234.5, 1) == "19.2K", FormatCompact(0.7, 2) == "0.70".
+std::string FormatCompact(double value, int decimals);
+
+}  // namespace tinprov
+
+#endif  // TINPROV_UTIL_STRINGS_H_

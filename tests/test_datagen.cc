@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "datagen/generator.h"
+#include "datagen/presets.h"
+#include "policies/proportional_dense.h"
+
+namespace tinprov {
+namespace {
+
+GeneratorConfig SmallConfig() {
+  GeneratorConfig config;
+  config.num_vertices = 100;
+  config.num_interactions = 2000;
+  config.src_skew = 1.2;
+  config.dst_skew = 1.2;
+  config.quantity_model = QuantityModel::kLogNormal;
+  config.quantity_param1 = 1.0;
+  config.quantity_param2 = 1.0;
+  config.seed = 5;
+  return config;
+}
+
+TEST(GeneratorTest, ProducesRequestedShape) {
+  auto tin = Generate(SmallConfig());
+  ASSERT_TRUE(tin.ok());
+  EXPECT_EQ(tin->num_vertices(), 100u);
+  EXPECT_EQ(tin->num_interactions(), 2000u);
+  for (const Interaction& interaction : tin->interactions()) {
+    EXPECT_LT(interaction.src, 100u);
+    EXPECT_LT(interaction.dst, 100u);
+    EXPECT_GT(interaction.quantity, 0.0);
+  }
+}
+
+TEST(GeneratorTest, TimestampsStrictlyIncrease) {
+  auto tin = Generate(SmallConfig());
+  ASSERT_TRUE(tin.ok());
+  const auto& stream = tin->interactions();
+  for (size_t i = 1; i < stream.size(); ++i) {
+    EXPECT_GT(stream[i].t, stream[i - 1].t);
+  }
+}
+
+TEST(GeneratorTest, DeterministicPerSeed) {
+  auto a = Generate(SmallConfig());
+  auto b = Generate(SmallConfig());
+  GeneratorConfig other = SmallConfig();
+  other.seed = 6;
+  auto c = Generate(other);
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+  bool differs = false;
+  for (size_t i = 0; i < a->num_interactions(); ++i) {
+    const Interaction& ia = a->interactions()[i];
+    const Interaction& ib = b->interactions()[i];
+    EXPECT_EQ(ia.src, ib.src);
+    EXPECT_EQ(ia.dst, ib.dst);
+    EXPECT_DOUBLE_EQ(ia.quantity, ib.quantity);
+    const Interaction& ic = c->interactions()[i];
+    if (ia.src != ic.src || ia.dst != ic.dst) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(GeneratorTest, SelfLoopFractionRespected) {
+  GeneratorConfig config = SmallConfig();
+  config.self_loop_fraction = 0.5;
+  auto tin = Generate(config);
+  ASSERT_TRUE(tin.ok());
+  const TinStats stats = tin->ComputeStats();
+  // At least the forced half, minus sampling noise.
+  EXPECT_GT(stats.num_self_loops, tin->num_interactions() / 3);
+}
+
+TEST(GeneratorTest, RejectsBadConfigs) {
+  GeneratorConfig config;
+  EXPECT_FALSE(Generate(config).ok());  // zero vertices
+  config.num_vertices = 10;
+  EXPECT_FALSE(Generate(config).ok());  // zero interactions
+  config.num_interactions = 10;
+  config.mean_inter_arrival = 0.0;
+  EXPECT_FALSE(Generate(config).ok());
+  config.mean_inter_arrival = 1.0;
+  config.self_loop_fraction = 1.5;
+  EXPECT_FALSE(Generate(config).ok());
+  config.self_loop_fraction = 0.0;
+  config.quantity_model = QuantityModel::kPareto;
+  config.quantity_param2 = 0.0;
+  EXPECT_FALSE(Generate(config).ok());
+}
+
+TEST(GeneratorTest, QuantityModels) {
+  GeneratorConfig config = SmallConfig();
+  config.quantity_model = QuantityModel::kFixed;
+  config.quantity_param1 = 3.5;
+  auto fixed = Generate(config);
+  ASSERT_TRUE(fixed.ok());
+  for (const Interaction& interaction : fixed->interactions()) {
+    EXPECT_DOUBLE_EQ(interaction.quantity, 3.5);
+  }
+  config.quantity_model = QuantityModel::kUniform;
+  config.quantity_param1 = 50.0;
+  config.quantity_param2 = 200.0;
+  auto uniform = Generate(config);
+  ASSERT_TRUE(uniform.ok());
+  for (const Interaction& interaction : uniform->interactions()) {
+    EXPECT_GE(interaction.quantity, 50.0);
+    EXPECT_LT(interaction.quantity, 200.0);
+  }
+}
+
+TEST(PresetTest, AllPresetsGenerateAtSmallScale) {
+  for (const DatasetKind kind : AllDatasets()) {
+    auto tin = MakeDataset(kind, 0.1);
+    ASSERT_TRUE(tin.ok()) << DatasetName(kind);
+    EXPECT_GT(tin->num_interactions(), 0u) << DatasetName(kind);
+    EXPECT_GT(tin->num_vertices(), 0u) << DatasetName(kind);
+  }
+  EXPECT_EQ(AllDatasets().size(), 5u);
+}
+
+TEST(PresetTest, RejectsNonPositiveScale) {
+  EXPECT_FALSE(MakeDataset(DatasetKind::kTaxis, 0.0).ok());
+  EXPECT_FALSE(MakeDataset(DatasetKind::kTaxis, -1.0).ok());
+}
+
+TEST(PresetTest, SmallVertexNetworksKeepRealCounts) {
+  // Flights and Taxis model a tiny vertex set under a huge stream; their
+  // vertex counts are the paper's real ones and never scale.
+  for (const double scale : {0.1, 1.0, 4.0}) {
+    EXPECT_EQ(PresetConfig(DatasetKind::kFlights, scale).num_vertices, 629u);
+    EXPECT_EQ(PresetConfig(DatasetKind::kTaxis, scale).num_vertices, 255u);
+  }
+}
+
+TEST(PresetTest, DenseFeasibilityPatternIsScaleStable) {
+  // The paper's Tables 7-8 run dense proportional only on Flights and
+  // Taxis. With the benches' 128MB gate that pattern must hold at any
+  // downscale, because vertex counts never shrink below base.
+  const size_t limit = size_t{128} * 1024 * 1024;
+  for (const double scale : {0.1, 0.5, 1.0}) {
+    for (const DatasetKind kind : AllDatasets()) {
+      const size_t vertices = PresetConfig(kind, scale).num_vertices;
+      const bool fits = DenseMemoryBound(vertices) <= limit;
+      const bool expect_fits =
+          kind == DatasetKind::kFlights || kind == DatasetKind::kTaxis;
+      EXPECT_EQ(fits, expect_fits)
+          << DatasetName(kind) << " at scale " << scale;
+    }
+  }
+}
+
+TEST(PresetTest, ScaleGrowsInteractions) {
+  const GeneratorConfig small = PresetConfig(DatasetKind::kCtu, 0.1);
+  const GeneratorConfig base = PresetConfig(DatasetKind::kCtu, 1.0);
+  const GeneratorConfig big = PresetConfig(DatasetKind::kCtu, 2.0);
+  EXPECT_LT(small.num_interactions, base.num_interactions);
+  EXPECT_LT(base.num_interactions, big.num_interactions);
+  EXPECT_EQ(small.num_vertices, base.num_vertices);  // floor at base
+  EXPECT_GT(big.num_vertices, base.num_vertices);
+}
+
+}  // namespace
+}  // namespace tinprov

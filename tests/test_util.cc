@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/memory.h"
+#include "util/random.h"
+#include "util/simd.h"
+#include "util/status.h"
+#include "util/stopwatch.h"
+#include "util/strings.h"
+
+namespace tinprov {
+namespace {
+
+TEST(StatusTest, OkAndErrors) {
+  EXPECT_TRUE(Status::Ok().ok());
+  EXPECT_EQ(Status::Ok().ToString(), "OK");
+  const Status bad = Status::InvalidArgument("negative quantity");
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(bad.ToString(), "INVALID_ARGUMENT: negative quantity");
+}
+
+TEST(StatusOrTest, ValueAndStatus) {
+  StatusOr<int> ok(7);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 7);
+  StatusOr<int> bad(Status::NotFound("nope"));
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kNotFound);
+}
+
+TEST(StatusOrTest, MoveOutValue) {
+  StatusOr<std::vector<int>> result(std::vector<int>{1, 2, 3});
+  std::vector<int> moved = std::move(result).value();
+  EXPECT_EQ(moved.size(), 3u);
+}
+
+TEST(StopwatchTest, MeasuresElapsedTime) {
+  Stopwatch watch;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink += std::sqrt(static_cast<double>(i));
+  EXPECT_GT(watch.ElapsedSeconds(), 0.0);
+  const double before_restart = watch.ElapsedSeconds();
+  watch.Restart();
+  EXPECT_LT(watch.ElapsedSeconds(), before_restart + 1.0);
+}
+
+TEST(RngTest, DeterministicPerSeed) {
+  Rng a(7);
+  Rng b(7);
+  Rng c(8);
+  bool differs_from_c = false;
+  for (int i = 0; i < 100; ++i) {
+    const uint64_t va = a.Next();
+    EXPECT_EQ(va, b.Next());
+    if (va != c.Next()) differs_from_c = true;
+  }
+  EXPECT_TRUE(differs_from_c);
+}
+
+TEST(RngTest, DoublesInUnitInterval) {
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, BoundedStaysInRange) {
+  Rng rng(2);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 10000; ++i) {
+    const uint64_t x = rng.NextBounded(10);
+    ASSERT_LT(x, 10u);
+    ++counts[x];
+  }
+  for (const int count : counts) EXPECT_GT(count, 0);
+}
+
+TEST(ZipfTest, RanksInRangeAndSkewed) {
+  Rng rng(3);
+  ZipfDistribution zipf(1000, 1.2);
+  std::vector<int> counts(1000, 0);
+  for (int i = 0; i < 20000; ++i) {
+    const uint64_t rank = zipf(rng);
+    ASSERT_LT(rank, 1000u);
+    ++counts[rank];
+  }
+  // Rank 0 must dominate the tail by a wide margin.
+  EXPECT_GT(counts[0], 10 * counts[500] + 10);
+  EXPECT_GT(counts[0], counts[1]);
+}
+
+TEST(ZipfTest, SupportsSkewOne) {
+  Rng rng(4);
+  ZipfDistribution zipf(100, 1.0);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_LT(zipf(rng), 100u);
+  }
+}
+
+TEST(FormatTest, Seconds) {
+  EXPECT_EQ(FormatSeconds(1.42), "1.42s");
+  EXPECT_EQ(FormatSeconds(0.0371), "37.1ms");
+  EXPECT_EQ(FormatSeconds(8.2e-3), "8.2ms");
+  EXPECT_EQ(FormatSeconds(8.2e-5), "82us");
+  EXPECT_EQ(FormatSeconds(5e-8), "50ns");
+  EXPECT_EQ(FormatSeconds(-1.0), "-");
+}
+
+TEST(FormatTest, Bytes) {
+  EXPECT_EQ(FormatBytes(512), "512B");
+  EXPECT_EQ(FormatBytes(size_t{1536}), "1.5KB");
+  EXPECT_EQ(FormatBytes(size_t{5} << 20), "5.0MB");
+  EXPECT_EQ(FormatBytes((size_t{3} << 30) / 2), "1.5GB");
+}
+
+TEST(FormatTest, Compact) {
+  EXPECT_EQ(FormatCompact(19234.5, 1), "19.2K");
+  EXPECT_EQ(FormatCompact(0.7, 2), "0.70");
+  EXPECT_EQ(FormatCompact(34.4, 2), "34.40");
+  EXPECT_EQ(FormatCompact(2.5e6, 1), "2.5M");
+  EXPECT_EQ(FormatCompact(3.1e9, 2), "3.10B");
+}
+
+TEST(MemoryProbeTest, RssIsPlausibleOnLinux) {
+#if defined(__linux__)
+  EXPECT_GT(CurrentRssBytes(), 0u);
+  EXPECT_GE(PeakRssBytes(), CurrentRssBytes() / 2);
+#endif
+}
+
+TEST(SimdTest, AddMatchesScalar) {
+  std::vector<double> dst(1001, 1.0);
+  std::vector<double> src(1001);
+  for (size_t i = 0; i < src.size(); ++i) src[i] = static_cast<double>(i);
+  simd::Add(dst.data(), src.data(), src.size());
+  for (size_t i = 0; i < src.size(); ++i) {
+    ASSERT_DOUBLE_EQ(dst[i], 1.0 + static_cast<double>(i));
+  }
+}
+
+TEST(SimdTest, ScaleAndSum) {
+  std::vector<double> values(517, 2.0);
+  simd::Scale(values.data(), 0.5, values.size());
+  EXPECT_NEAR(simd::Sum(values.data(), values.size()),
+              static_cast<double>(values.size()), 1e-9);
+}
+
+TEST(SimdTest, TransferFractionConservesMass) {
+  std::vector<double> src(333);
+  std::vector<double> dst(333);
+  Rng rng(5);
+  for (size_t i = 0; i < src.size(); ++i) {
+    src[i] = rng.NextDouble();
+    dst[i] = rng.NextDouble();
+  }
+  const double before =
+      simd::Sum(src.data(), src.size()) + simd::Sum(dst.data(), dst.size());
+  simd::TransferFraction(dst.data(), src.data(), 0.3, src.size());
+  const double after =
+      simd::Sum(src.data(), src.size()) + simd::Sum(dst.data(), dst.size());
+  EXPECT_NEAR(before, after, 1e-9);
+}
+
+TEST(SimdTest, ZeroLengthIsSafe) {
+  simd::Add(nullptr, nullptr, 0);
+  simd::Scale(nullptr, 2.0, 0);
+  simd::TransferFraction(nullptr, nullptr, 0.5, 0);
+  EXPECT_EQ(simd::Sum(nullptr, 0), 0.0);
+}
+
+}  // namespace
+}  // namespace tinprov
