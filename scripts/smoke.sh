@@ -3,10 +3,15 @@
 # non-zero exit, so bench bit-rot is caught cheaply in CI.
 #
 # Usage: scripts/smoke.sh [build-dir]   (default: build)
+#
+# TINPROV_SMOKE_LOG, when set, collects every bench's stdout into that
+# file (CI uploads it as the bench-smoke-<compiler> artifact); without
+# it output is discarded as before.
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
 export TINPROV_SCALE="${TINPROV_SCALE:-0.1}"
+LOG_FILE="${TINPROV_SMOKE_LOG:-/dev/null}"
 
 if [[ ! -d "${BUILD_DIR}/bench" ]]; then
   echo "error: ${BUILD_DIR}/bench not found — configure and build first:" >&2
@@ -23,13 +28,26 @@ run() {
     return 0
   fi
   echo "--- ${name} (TINPROV_SCALE=${TINPROV_SCALE})"
-  "${exe}" "$@" >/dev/null
+  echo "=== ${name} (TINPROV_SCALE=${TINPROV_SCALE}) ===" >>"${LOG_FILE}"
+  "${exe}" "$@" >>"${LOG_FILE}"
   echo "    OK"
+}
+
+# Pins TINPROV_SCALE for one bench regardless of the caller's value: the
+# scalable benches sweep W/C/k grids, so their smoke cost is bounded
+# even when someone exports a large scale for the classic benches.
+run_pinned() {
+  local scale="$1"
+  shift
+  TINPROV_SCALE="${scale}" run "$@"
 }
 
 run bench_datasets
 run bench_policies
 run bench_cumulative
+run_pinned 0.1 bench_selective_grouped
+run_pinned 0.1 bench_windowing
+run_pinned 0.1 bench_budget
 run bench_micro --benchmark_min_time=0.01
 
 echo "smoke: all registered benches completed"

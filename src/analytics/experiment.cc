@@ -1,9 +1,14 @@
 #include "analytics/experiment.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "policies/proportional_dense.h"
+#include "scalable/grouped.h"
+#include "scalable/selective.h"
+#include "scalable/windowed.h"
 #include "util/stopwatch.h"
+#include "util/strings.h"
 
 namespace tinprov {
 
@@ -52,6 +57,78 @@ StatusOr<Measurement> MeasurePolicy(PolicyKind kind, const Tin& tin,
   }
   return MeasureRun(tracker.get(), tin,
                     dataset_name + "/" + std::string(PolicyName(kind)));
+}
+
+StatusOr<std::unique_ptr<Tracker>> CreateTrackerByName(
+    std::string_view name, const Tin& tin, const ScalableParams& params) {
+  const auto kind = PolicyKindFromName(name);
+  if (kind.ok()) {
+    std::unique_ptr<Tracker> tracker =
+        CreateTracker(*kind, tin.num_vertices());
+    if (tracker == nullptr) {
+      return Status::Internal("CreateTracker returned null for \"" +
+                              std::string(name) + "\"");
+    }
+    return tracker;
+  }
+
+  const std::string lower = AsciiLower(name);
+  std::unique_ptr<Tracker> tracker;
+  if (lower == "windowed") {
+    tracker =
+        std::make_unique<WindowedTracker>(tin.num_vertices(), params.window);
+  } else if (lower == "budget") {
+    tracker =
+        std::make_unique<BudgetTracker>(tin.num_vertices(), params.budget);
+  } else if (lower == "selective") {
+    tracker = std::make_unique<SelectiveTracker>(
+        tin.num_vertices(), TopGeneratingVertices(tin, params.num_tracked));
+  } else if (lower == "grouped") {
+    const size_t k = std::max<size_t>(1, params.num_groups);
+    tracker = std::make_unique<GroupedTracker>(
+        tin.num_vertices(), RoundRobinGroups(tin.num_vertices(), k), k);
+  }
+  if (tracker != nullptr) return tracker;
+
+  std::string known;
+  for (const std::string& candidate : AllTrackerNames()) {
+    if (!known.empty()) known += ", ";
+    known += candidate;
+  }
+  return Status::InvalidArgument("unknown tracker name: \"" +
+                                 std::string(name) + "\" (expected one of " +
+                                 known + ")");
+}
+
+std::vector<std::string> AllTrackerNames() {
+  std::vector<std::string> names;
+  for (const PolicyKind kind : AllPolicies()) {
+    names.emplace_back(PolicyName(kind));
+  }
+  names.emplace_back("Selective");
+  names.emplace_back("Grouped");
+  names.emplace_back("Windowed");
+  names.emplace_back("Budget");
+  return names;
+}
+
+StatusOr<Measurement> MeasureNamedTracker(std::string_view name,
+                                          const Tin& tin,
+                                          const ScalableParams& params,
+                                          size_t dense_memory_limit) {
+  // Same feasibility gate as MeasurePolicy; applied here directly so
+  // every branch labels its run with the caller's name, nothing more.
+  const auto kind = PolicyKindFromName(name);
+  if (kind.ok() && *kind == PolicyKind::kProportionalDense &&
+      dense_memory_limit > 0 &&
+      DenseMemoryBound(tin.num_vertices()) > dense_memory_limit) {
+    Measurement measurement;
+    measurement.feasible = false;
+    return measurement;
+  }
+  auto tracker = CreateTrackerByName(name, tin, params);
+  if (!tracker.ok()) return tracker.status();
+  return MeasureRun(tracker->get(), tin, std::string(name));
 }
 
 }  // namespace tinprov

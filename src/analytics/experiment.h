@@ -5,10 +5,14 @@
 #ifndef TINPROV_ANALYTICS_EXPERIMENT_H_
 #define TINPROV_ANALYTICS_EXPERIMENT_H_
 
+#include <memory>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "core/tin.h"
 #include "policies/tracker.h"
+#include "scalable/budget.h"
 #include "util/status.h"
 
 namespace tinprov {
@@ -33,6 +37,37 @@ StatusOr<Measurement> MeasureRun(Tracker* tracker, const Tin& tin,
 StatusOr<Measurement> MeasurePolicy(PolicyKind kind, const Tin& tin,
                                     const std::string& dataset_name,
                                     size_t dense_memory_limit);
+
+/// Parameters for the scalable trackers when constructed by name. The
+/// defaults give every tracker a sensible mid-range configuration; the
+/// scalable benches sweep these explicitly instead.
+struct ScalableParams {
+  size_t window = 4096;     // WindowedTracker reset period
+  size_t num_tracked = 32;  // SelectiveTracker: top-k generating vertices
+  size_t num_groups = 32;   // GroupedTracker: round-robin group count
+  BudgetConfig budget;      // BudgetTracker capacity / keep fraction
+};
+
+/// Builds any factory-constructible tracker by display name,
+/// case-insensitively: the seven PolicyName() policies plus "Windowed",
+/// "Budget", "Selective" (tracked set = TopGeneratingVertices over
+/// `tin`), and "Grouped" (round-robin groups). Unknown names yield
+/// InvalidArgument listing the accepted names.
+StatusOr<std::unique_ptr<Tracker>> CreateTrackerByName(
+    std::string_view name, const Tin& tin, const ScalableParams& params);
+
+/// Every name CreateTrackerByName accepts, in reporting order: the
+/// Table 7/8 policies first, then the Section 5.2-5.3 scalable trackers.
+std::vector<std::string> AllTrackerNames();
+
+/// Measures the named tracker over `tin` with MeasureRun semantics,
+/// labelling the run with `name`. The dense feasibility gate applies
+/// exactly as in MeasurePolicy; scalable names are built from `params`
+/// and always run.
+StatusOr<Measurement> MeasureNamedTracker(std::string_view name,
+                                          const Tin& tin,
+                                          const ScalableParams& params,
+                                          size_t dense_memory_limit);
 
 }  // namespace tinprov
 

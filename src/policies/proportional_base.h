@@ -1,0 +1,82 @@
+// The sparse pro-rata replay kernel shared by the exact proportional
+// policy (Section 4.3) and the scalable/ layer (Sections 5.2-5.3).
+//
+// SparseProportionalBase implements the full Process() loop — deficit
+// generation, sorted insert, and the MergeScaled transfer — with three
+// customisation points: how generated quantity is labelled (grouped
+// tracking), whether it is attributed at all (selective tracking), and
+// a post-interaction hook (window resets, budget shrinking). With the
+// default hooks it is exactly the paper's proportional policy.
+//
+// Subclasses may under-attribute: a vertex's entry sum is <= its
+// buffered total, and the difference is the unattributed residue the
+// paper calls alpha. Balances themselves are always exact — scalable
+// tracking trades provenance detail for memory, never conservation of
+// flow.
+#ifndef TINPROV_POLICIES_PROPORTIONAL_BASE_H_
+#define TINPROV_POLICIES_PROPORTIONAL_BASE_H_
+
+#include <vector>
+
+#include "policies/tracker.h"
+
+namespace tinprov {
+
+/// Origin-sorted provenance list.
+using SparseVector = std::vector<ProvPair>;
+
+/// dst += fraction * src, merging by origin; both vectors stay sorted.
+/// In-place, allocation-free when dst has spare capacity for the new
+/// origins. This is the hot kernel whose cost grows with list length
+/// (the superlinear curve of paper Figure 6).
+void MergeScaled(SparseVector* dst, const SparseVector& src, double fraction);
+
+class SparseProportionalBase : public Tracker {
+ public:
+  Status Process(const Interaction& interaction) final;
+  double BufferTotal(VertexId v) const override { return totals_[v]; }
+  Buffer Provenance(VertexId v) const override;
+  size_t MemoryUsage() const override;
+
+  /// Provenance tuples currently stored across all vertices.
+  size_t num_entries() const { return num_entries_; }
+
+ protected:
+  explicit SparseProportionalBase(size_t num_vertices)
+      : Tracker(num_vertices),
+        buffers_(num_vertices),
+        totals_(num_vertices, 0.0) {}
+
+  /// Label recorded for quantity generated at `src`. The default keeps
+  /// the vertex itself; GroupedTracker maps it to a group id. Labels
+  /// form their own id space — lists stay sorted by label, and
+  /// MergeScaled merges by label exactly as it merges by origin.
+  virtual VertexId GenerationLabel(VertexId src) const { return src; }
+
+  /// Whether generation at `src` is attributed at all. When false the
+  /// deficit still raises the balance but joins the alpha residue.
+  virtual bool AttributeGeneration(VertexId /*src*/) const { return true; }
+
+  /// Called once per deficit-generating interaction with the generated
+  /// quantity, before the attribution filter is consulted.
+  virtual void OnGenerated(VertexId /*src*/, double /*quantity*/) {}
+
+  /// Called after every successfully applied interaction.
+  virtual void AfterInteraction(const Interaction& /*interaction*/) {}
+
+  /// Drops every stored tuple, leaving balances intact (the window
+  /// reset): all attributed quantity collapses into alpha. O(|V|).
+  void ClearAllEntries();
+
+  /// Standing bytes of subclass-owned per-vertex state (group maps,
+  /// tracked-set masks, shrink counters), added into MemoryUsage().
+  virtual size_t AuxiliaryBytes() const { return 0; }
+
+  std::vector<SparseVector> buffers_;
+  std::vector<double> totals_;
+  size_t num_entries_ = 0;
+};
+
+}  // namespace tinprov
+
+#endif  // TINPROV_POLICIES_PROPORTIONAL_BASE_H_

@@ -1,124 +1,6 @@
 #include "policies/proportional_sparse.h"
 
-#include <algorithm>
-
 namespace tinprov {
-
-void MergeScaled(SparseVector* dst, const SparseVector& src,
-                 double fraction) {
-  if (fraction == 0.0 || src.empty()) return;
-  if (dst->empty()) {
-    dst->reserve(src.size());
-    for (const ProvPair& entry : src) {
-      dst->push_back({entry.origin, entry.quantity * fraction});
-    }
-    return;
-  }
-
-  // Pass 1: count src origins missing from dst.
-  size_t extra = 0;
-  {
-    size_t i = 0;
-    size_t j = 0;
-    while (j < src.size()) {
-      if (i == dst->size() || src[j].origin < (*dst)[i].origin) {
-        ++extra;
-        ++j;
-      } else if ((*dst)[i].origin < src[j].origin) {
-        ++i;
-      } else {
-        ++i;
-        ++j;
-      }
-    }
-  }
-
-  // Pass 2: merge backwards in place so no temporary list is needed.
-  const size_t old_size = dst->size();
-  dst->resize(old_size + extra);
-  size_t i = old_size;      // one past the last unmerged dst entry
-  size_t j = src.size();    // one past the last unmerged src entry
-  size_t k = dst->size();   // one past the next write slot
-  while (j > 0) {
-    if (i > 0 && (*dst)[i - 1].origin == src[j - 1].origin) {
-      (*dst)[--k] = {src[j - 1].origin,
-                     (*dst)[i - 1].quantity + src[j - 1].quantity * fraction};
-      --i;
-      --j;
-    } else if (i > 0 && (*dst)[i - 1].origin > src[j - 1].origin) {
-      (*dst)[--k] = (*dst)[--i];
-    } else {
-      (*dst)[--k] = {src[j - 1].origin, src[j - 1].quantity * fraction};
-      --j;
-    }
-  }
-  // Remaining dst entries (i of them) are already in their final slots.
-}
-
-Status ProportionalSparseTracker::Process(const Interaction& interaction) {
-  auto deficit = CheckAndComputeDeficit(interaction, totals_);
-  if (!deficit.ok()) return deficit.status();
-  SparseVector& src_buffer = buffers_[interaction.src];
-  if (*deficit > 0.0) {
-    // Insert the newly generated share at its sorted position.
-    const ProvPair entry{interaction.src, *deficit};
-    auto it = std::lower_bound(src_buffer.begin(), src_buffer.end(),
-                               entry.origin,
-                               [](const ProvPair& p, VertexId origin) {
-                                 return p.origin < origin;
-                               });
-    if (it != src_buffer.end() && it->origin == entry.origin) {
-      it->quantity += entry.quantity;
-    } else {
-      src_buffer.insert(it, entry);
-      ++num_entries_;
-    }
-    totals_[interaction.src] += *deficit;
-  }
-
-  if (interaction.quantity == 0.0) return Status::Ok();
-  if (interaction.src == interaction.dst) {
-    // A pro-rata transfer to oneself leaves the breakdown unchanged.
-    return Status::Ok();
-  }
-
-  const double fraction =
-      std::min(1.0, interaction.quantity / totals_[interaction.src]);
-  SparseVector& dst_buffer = buffers_[interaction.dst];
-  const size_t dst_before = dst_buffer.size();
-  if (fraction >= 1.0) {
-    // Whole-buffer move: into an empty destination it is a pointer swap;
-    // otherwise merge at full strength, then drop the source. Either way
-    // the tuples only change owner, so num_entries_ is debited for the
-    // source and re-credited by the final destination delta.
-    num_entries_ -= src_buffer.size();
-    if (dst_buffer.empty()) {
-      std::swap(dst_buffer, src_buffer);
-    } else {
-      MergeScaled(&dst_buffer, src_buffer, 1.0);
-      src_buffer.clear();
-    }
-  } else {
-    MergeScaled(&dst_buffer, src_buffer, fraction);
-    for (ProvPair& entry : src_buffer) entry.quantity *= 1.0 - fraction;
-  }
-  num_entries_ += dst_buffer.size() - dst_before;
-  totals_[interaction.src] -= interaction.quantity;
-  totals_[interaction.dst] += interaction.quantity;
-  return Status::Ok();
-}
-
-Buffer ProportionalSparseTracker::Provenance(VertexId v) const {
-  Buffer result;
-  result.total = totals_[v];
-  result.entries = buffers_[v];
-  return result;
-}
-
-size_t ProportionalSparseTracker::MemoryUsage() const {
-  return num_entries_ * sizeof(ProvPair) +
-         totals_.capacity() * sizeof(double);
-}
 
 double ProportionalSparseTracker::AverageListLength() const {
   size_t nonempty = 0;

@@ -3,46 +3,25 @@
 // quantity) pairs sorted by origin. A transfer of fraction f moves f of
 // every origin's share — implemented as a sorted-merge of the source
 // list, scaled by f, into the destination list.
+//
+// The replay loop itself lives in SparseProportionalBase (shared with
+// the scalable/ layer); with the default hooks it is exactly this
+// policy, so all that remains here is the Figure 6 instrumentation.
 #ifndef TINPROV_POLICIES_PROPORTIONAL_SPARSE_H_
 #define TINPROV_POLICIES_PROPORTIONAL_SPARSE_H_
 
-#include <vector>
-
-#include "policies/tracker.h"
+#include "policies/proportional_base.h"
 
 namespace tinprov {
 
-/// Origin-sorted provenance list.
-using SparseVector = std::vector<ProvPair>;
-
-/// dst += fraction * src, merging by origin; both vectors stay sorted.
-/// In-place, allocation-free when dst has spare capacity for the new
-/// origins. This is the hot kernel whose cost grows with list length
-/// (the superlinear curve of paper Figure 6).
-void MergeScaled(SparseVector* dst, const SparseVector& src, double fraction);
-
-class ProportionalSparseTracker : public Tracker {
+class ProportionalSparseTracker : public SparseProportionalBase {
  public:
   explicit ProportionalSparseTracker(size_t num_vertices)
-      : Tracker(num_vertices),
-        buffers_(num_vertices),
-        totals_(num_vertices, 0.0) {}
-
-  Status Process(const Interaction& interaction) override;
-  double BufferTotal(VertexId v) const override { return totals_[v]; }
-  Buffer Provenance(VertexId v) const override;
-  size_t MemoryUsage() const override;
+      : SparseProportionalBase(num_vertices) {}
 
   /// Mean provenance-list length over vertices with a non-empty buffer
   /// (the quantity paper Figure 6 tracks).
   double AverageListLength() const;
-
-  size_t num_entries() const { return num_entries_; }
-
- private:
-  std::vector<SparseVector> buffers_;
-  std::vector<double> totals_;
-  size_t num_entries_ = 0;
 };
 
 }  // namespace tinprov

@@ -7,6 +7,7 @@
 #include "policies/proportional_dense.h"
 #include "policies/proportional_sparse.h"
 #include "policies/receipt_order.h"
+#include "util/strings.h"
 
 namespace tinprov {
 
@@ -28,6 +29,15 @@ std::string_view PolicyName(PolicyKind kind) {
       return "Prop-dense";
   }
   return "?";
+}
+
+StatusOr<PolicyKind> PolicyKindFromName(std::string_view name) {
+  const std::string lower = AsciiLower(name);
+  for (const PolicyKind kind : AllPolicies()) {
+    if (lower == AsciiLower(PolicyName(kind))) return kind;
+  }
+  return Status::InvalidArgument("unknown policy name: \"" +
+                                 std::string(name) + "\"");
 }
 
 Status Tracker::ProcessAll(const Tin& tin) {

@@ -35,6 +35,13 @@ enum class PolicyKind {
 /// Short display name as used in the paper's table headers.
 std::string_view PolicyName(PolicyKind kind);
 
+/// Parses a PolicyName() display name back to its kind,
+/// case-insensitively. Unknown names yield InvalidArgument — factory
+/// callers get a proper Status, never a crash. Scalable tracker names
+/// ("Windowed", "Budget", ...) are not policies; CreateTrackerByName in
+/// analytics/experiment.h resolves those.
+StatusOr<PolicyKind> PolicyKindFromName(std::string_view name);
+
 class Tracker {
  public:
   explicit Tracker(size_t num_vertices) : num_vertices_(num_vertices) {}

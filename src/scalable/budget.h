@@ -1,0 +1,71 @@
+// Budget-based provenance (paper Section 5.3.2, Fig. 8 / Table 9):
+// exact proportional tracking under a per-vertex tuple budget C. When a
+// vertex's list grows beyond C it is shrunk to its keep_fraction * C
+// largest shares; the dropped tuples' quantity stays in the balance as
+// unattributed alpha. Memory is hard-bounded by C * |V| tuples at the
+// price of occasionally losing the smallest provenance shares.
+#ifndef TINPROV_SCALABLE_BUDGET_H_
+#define TINPROV_SCALABLE_BUDGET_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "policies/proportional_base.h"
+
+namespace tinprov {
+
+struct BudgetConfig {
+  /// Max provenance tuples a vertex may hold (the paper's C). 0 is
+  /// treated as 1.
+  size_t capacity = 256;
+  /// Fraction of C a shrink keeps; clamped into (0, 1]. Keeping less
+  /// than C leaves headroom so a vertex is not re-shrunk on every
+  /// subsequent merge.
+  double keep_fraction = 0.7;
+};
+
+/// Shrink bookkeeping across a run (paper Table 9).
+struct ShrinkStats {
+  /// Mean shrink count over the vertices shrunk at least once (0 when
+  /// none was).
+  double avg_shrinks = 0.0;
+  /// Percentage of all vertices shrunk at least once.
+  double pct_vertices = 0.0;
+};
+
+class BudgetTracker : public SparseProportionalBase {
+ public:
+  BudgetTracker(size_t num_vertices, const BudgetConfig& config);
+
+  const BudgetConfig& config() const { return config_; }
+
+  /// Tuples a shrink keeps: clamp(capacity * keep_fraction, 1, capacity).
+  size_t keep_count() const { return keep_; }
+
+  size_t total_shrinks() const { return total_shrinks_; }
+  size_t ShrinkCount(VertexId v) const { return shrink_counts_[v]; }
+
+  ShrinkStats ComputeShrinkStats() const;
+
+ protected:
+  void AfterInteraction(const Interaction& interaction) override {
+    MaybeShrink(interaction.src);
+    if (interaction.dst != interaction.src) MaybeShrink(interaction.dst);
+  }
+
+  size_t AuxiliaryBytes() const override {
+    return shrink_counts_.capacity() * sizeof(uint32_t);
+  }
+
+ private:
+  void MaybeShrink(VertexId v);
+
+  BudgetConfig config_;
+  size_t keep_;
+  std::vector<uint32_t> shrink_counts_;
+  size_t total_shrinks_ = 0;
+};
+
+}  // namespace tinprov
+
+#endif  // TINPROV_SCALABLE_BUDGET_H_

@@ -1,0 +1,49 @@
+#include "scalable/selective.h"
+
+#include <algorithm>
+
+namespace tinprov {
+
+SelectiveTracker::SelectiveTracker(size_t num_vertices,
+                                   const std::vector<VertexId>& tracked)
+    : SparseProportionalBase(num_vertices), tracked_(num_vertices, 0) {
+  for (const VertexId v : tracked) {
+    if (v < num_vertices && tracked_[v] == 0) {
+      tracked_[v] = 1;
+      ++num_tracked_;
+    }
+  }
+}
+
+std::vector<VertexId> TopGeneratingVertices(const Tin& tin, size_t k) {
+  const size_t n = tin.num_vertices();
+  std::vector<double> balance(n, 0.0);
+  std::vector<double> generated(n, 0.0);
+  for (const Interaction& interaction : tin.interactions()) {
+    if (interaction.src >= n || interaction.dst >= n) continue;
+    const double deficit = interaction.quantity - balance[interaction.src];
+    if (deficit > 0.0) {
+      generated[interaction.src] += deficit;
+      balance[interaction.src] = 0.0;
+    } else {
+      balance[interaction.src] -= interaction.quantity;
+    }
+    balance[interaction.dst] += interaction.quantity;
+  }
+
+  std::vector<VertexId> generators;
+  for (VertexId v = 0; v < n; ++v) {
+    if (generated[v] > 0.0) generators.push_back(v);
+  }
+  std::sort(generators.begin(), generators.end(),
+            [&generated](VertexId a, VertexId b) {
+              if (generated[a] != generated[b]) {
+                return generated[a] > generated[b];
+              }
+              return a < b;
+            });
+  if (generators.size() > k) generators.resize(k);
+  return generators;
+}
+
+}  // namespace tinprov

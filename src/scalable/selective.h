@@ -1,0 +1,63 @@
+// Selective provenance tracking (paper Section 5.2, Fig. 5): balances
+// are maintained for every vertex, but provenance is attributed only to
+// a caller-chosen subset of origins. Quantity generated elsewhere joins
+// the unattributed alpha residue, so list lengths — and with them the
+// merge cost — scale with the tracked subset, not with |V|.
+#ifndef TINPROV_SCALABLE_SELECTIVE_H_
+#define TINPROV_SCALABLE_SELECTIVE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/tin.h"
+#include "policies/proportional_base.h"
+
+namespace tinprov {
+
+class SelectiveTracker : public SparseProportionalBase {
+ public:
+  /// Tracks the origins listed in `tracked`. Duplicate ids and ids
+  /// beyond num_vertices are ignored.
+  SelectiveTracker(size_t num_vertices, const std::vector<VertexId>& tracked);
+
+  bool IsTracked(VertexId v) const {
+    return v < tracked_.size() && tracked_[v] != 0;
+  }
+
+  /// Distinct in-range vertices in the tracked set.
+  size_t num_tracked() const { return num_tracked_; }
+
+  /// Quantity generated so far at tracked vertices. Conservation of
+  /// flow on the tracked subset: this equals the sum of every vertex's
+  /// entry sum.
+  double tracked_generated() const { return tracked_generated_; }
+
+ protected:
+  bool AttributeGeneration(VertexId src) const override {
+    return tracked_[src] != 0;
+  }
+
+  void OnGenerated(VertexId src, double quantity) override {
+    if (tracked_[src] != 0) tracked_generated_ += quantity;
+  }
+
+  size_t AuxiliaryBytes() const override {
+    return tracked_.capacity() * sizeof(uint8_t);
+  }
+
+ private:
+  std::vector<uint8_t> tracked_;
+  size_t num_tracked_ = 0;
+  double tracked_generated_ = 0.0;
+};
+
+/// The k vertices that generate the most quantity over `tin`, in
+/// decreasing generated order (ties broken by lower id). Vertices that
+/// generate nothing are never returned, so the result may be shorter
+/// than k. Runs a no-provenance replay — the paper's selection step,
+/// excluded from measured tracking cost.
+std::vector<VertexId> TopGeneratingVertices(const Tin& tin, size_t k);
+
+}  // namespace tinprov
+
+#endif  // TINPROV_SCALABLE_SELECTIVE_H_

@@ -1,0 +1,43 @@
+// Windowed provenance (paper Section 5.3.1, Fig. 7): exact proportional
+// tracking whose provenance lists are reset every W interactions —
+// buffered quantity stays, its breakdown collapses into the
+// unattributed alpha residue. A smaller W bounds memory harder but pays
+// the O(|V|)-sweep reset more often; Fig. 7 sweeps that trade-off.
+#ifndef TINPROV_SCALABLE_WINDOWED_H_
+#define TINPROV_SCALABLE_WINDOWED_H_
+
+#include "policies/proportional_base.h"
+
+namespace tinprov {
+
+class WindowedTracker : public SparseProportionalBase {
+ public:
+  /// A window of 0 is treated as 1 (reset after every interaction).
+  WindowedTracker(size_t num_vertices, size_t window)
+      : SparseProportionalBase(num_vertices),
+        window_(window == 0 ? 1 : window) {}
+
+  size_t window() const { return window_; }
+
+  /// Resets performed so far (the last column of the Fig. 7 tables):
+  /// floor(processed interactions / W).
+  size_t reset_count() const { return reset_count_; }
+
+ protected:
+  void AfterInteraction(const Interaction& /*interaction*/) override {
+    if (++since_reset_ >= window_) {
+      ClearAllEntries();
+      since_reset_ = 0;
+      ++reset_count_;
+    }
+  }
+
+ private:
+  size_t window_;
+  size_t since_reset_ = 0;
+  size_t reset_count_ = 0;
+};
+
+}  // namespace tinprov
+
+#endif  // TINPROV_SCALABLE_WINDOWED_H_

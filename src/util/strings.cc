@@ -29,6 +29,14 @@ std::string FormatSeconds(double seconds) {
   return Printf("%.0fns", seconds * 1e9);
 }
 
+std::string AsciiLower(std::string_view text) {
+  std::string lower(text);
+  for (char& c : lower) {
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+  }
+  return lower;
+}
+
 std::string FormatCompact(double value, int decimals) {
   if (!std::isfinite(value)) return "-";
   const double magnitude = std::fabs(value);

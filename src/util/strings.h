@@ -3,6 +3,7 @@
 #define TINPROV_UTIL_STRINGS_H_
 
 #include <string>
+#include <string_view>
 
 namespace tinprov {
 
@@ -13,6 +14,10 @@ std::string FormatSeconds(double seconds);
 /// Formats a value compactly with K/M/B suffixes above 1000:
 /// FormatCompact(19234.5, 1) == "19.2K", FormatCompact(0.7, 2) == "0.70".
 std::string FormatCompact(double value, int decimals);
+
+/// Lower-cases ASCII letters; all other bytes pass through unchanged.
+/// Backs the case-insensitive name lookups of the tracker factories.
+std::string AsciiLower(std::string_view text);
 
 }  // namespace tinprov
 
