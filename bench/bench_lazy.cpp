@@ -16,6 +16,22 @@
 
 using namespace tinprov;
 
+namespace {
+
+// A tiny TINPROV_SCALE can shrink a preset to an empty stream, and the
+// historical section below reads interactions().back() — UB on an empty
+// log. Fail with a clear message instead.
+bool EnsureNonEmpty(const Tin& tin, DatasetKind kind, double scale) {
+  if (tin.num_interactions() > 0) return true;
+  std::fprintf(stderr,
+               "bench_lazy: dataset %s has 0 interactions at TINPROV_SCALE=%g;"
+               " raise the scale\n",
+               std::string(DatasetName(kind)).c_str(), scale);
+  return false;
+}
+
+}  // namespace
+
 int main() {
   const double scale = bench::GetScale();
   bench::PrintHeader("Extension",
@@ -25,6 +41,7 @@ int main() {
   for (const DatasetKind dataset :
        {DatasetKind::kBitcoin, DatasetKind::kCtu, DatasetKind::kProsper}) {
     const Tin tin = bench::MustMakeDataset(dataset, scale);
+    if (!EnsureNonEmpty(tin, dataset, scale)) return 1;
     Rng rng(11);
     std::vector<VertexId> query_vertices;
     for (size_t i = 0; i < kQueries; ++i) {
@@ -88,6 +105,7 @@ int main() {
   std::printf("\nHistorical queries (FIFO, CTU-like, 20 random past times):\n");
   {
     const Tin tin = bench::MustMakeDataset(DatasetKind::kCtu, scale);
+    if (!EnsureNonEmpty(tin, DatasetKind::kCtu, scale)) return 1;
     const Timestamp end = tin.interactions().back().t;
     Rng rng(12);
     std::vector<std::pair<VertexId, Timestamp>> probes;

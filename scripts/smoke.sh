@@ -6,7 +6,9 @@
 #
 # TINPROV_SMOKE_LOG, when set, collects every bench's stdout into that
 # file (CI uploads it as the bench-smoke-<compiler> artifact); without
-# it output is discarded as before.
+# it output is discarded as before. TINPROV_LAZY_SMOKE_LOG additionally
+# captures bench_lazy's output on its own for the per-job bench-lazy
+# artifact.
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
@@ -42,12 +44,36 @@ run_pinned() {
   TINPROV_SCALE="${scale}" run "$@"
 }
 
+# Like run, but additionally copies the bench's output into its own file
+# when extra_log is non-empty — CI uploads bench_lazy's crossover table
+# as a separate per-job artifact without paying a second run.
+run_logged() {
+  local extra_log="$1"
+  shift
+  if [[ -z "${extra_log}" ]]; then
+    run "$@"
+    return
+  fi
+  local saved_log="${LOG_FILE}"
+  LOG_FILE="${extra_log}"
+  : >"${extra_log}"
+  run "$@"
+  LOG_FILE="${saved_log}"
+  if [[ "${saved_log}" != "/dev/null" ]]; then
+    cat "${extra_log}" >>"${saved_log}"
+  fi
+}
+
 run bench_datasets
 run bench_policies
 run bench_cumulative
 run_pinned 0.1 bench_selective_grouped
 run_pinned 0.1 bench_windowing
 run_pinned 0.1 bench_budget
+# bench_lazy's query cost is O(queries x stream) per strategy, so its
+# smoke scale stays pinned like the scalable sweeps above; its output
+# additionally lands in TINPROV_LAZY_SMOKE_LOG when set.
+TINPROV_SCALE=0.1 run_logged "${TINPROV_LAZY_SMOKE_LOG:-}" bench_lazy
 run bench_micro --benchmark_min_time=0.01
 
 echo "smoke: all registered benches completed"

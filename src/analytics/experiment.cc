@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "lazy/replay.h"
 #include "policies/proportional_dense.h"
 #include "scalable/grouped.h"
 #include "scalable/selective.h"
@@ -61,34 +62,54 @@ StatusOr<Measurement> MeasurePolicy(PolicyKind kind, const Tin& tin,
 
 StatusOr<std::unique_ptr<Tracker>> CreateTrackerByName(
     std::string_view name, const Tin& tin, const ScalableParams& params) {
+  auto factory = NamedTrackerFactory(name, tin, params);
+  if (!factory.ok()) return factory.status();
+  std::unique_ptr<Tracker> tracker = (*factory)();
+  if (tracker == nullptr) {
+    return Status::Internal("tracker factory returned null for \"" +
+                            std::string(name) + "\"");
+  }
+  return tracker;
+}
+
+StatusOr<TrackerFactory> NamedTrackerFactory(std::string_view name,
+                                             const Tin& tin,
+                                             const ScalableParams& params) {
+  const size_t n = tin.num_vertices();
   const auto kind = PolicyKindFromName(name);
   if (kind.ok()) {
-    std::unique_ptr<Tracker> tracker =
-        CreateTracker(*kind, tin.num_vertices());
-    if (tracker == nullptr) {
-      return Status::Internal("CreateTracker returned null for \"" +
-                              std::string(name) + "\"");
-    }
-    return tracker;
+    return PolicyTrackerFactory(tin, *kind);
   }
 
   const std::string lower = AsciiLower(name);
-  std::unique_ptr<Tracker> tracker;
   if (lower == "windowed") {
-    tracker =
-        std::make_unique<WindowedTracker>(tin.num_vertices(), params.window);
-  } else if (lower == "budget") {
-    tracker =
-        std::make_unique<BudgetTracker>(tin.num_vertices(), params.budget);
-  } else if (lower == "selective") {
-    tracker = std::make_unique<SelectiveTracker>(
-        tin.num_vertices(), TopGeneratingVertices(tin, params.num_tracked));
-  } else if (lower == "grouped") {
-    const size_t k = std::max<size_t>(1, params.num_groups);
-    tracker = std::make_unique<GroupedTracker>(
-        tin.num_vertices(), RoundRobinGroups(tin.num_vertices(), k), k);
+    return TrackerFactory([n, window = params.window] {
+      return std::unique_ptr<Tracker>(
+          std::make_unique<WindowedTracker>(n, window));
+    });
   }
-  if (tracker != nullptr) return tracker;
+  if (lower == "budget") {
+    return TrackerFactory([n, budget = params.budget] {
+      return std::unique_ptr<Tracker>(
+          std::make_unique<BudgetTracker>(n, budget));
+    });
+  }
+  if (lower == "selective") {
+    // The selection scan runs once, outside the closure: it is the
+    // paper's preprocessing step, excluded from per-query tracking cost.
+    return TrackerFactory(
+        [n, tracked = TopGeneratingVertices(tin, params.num_tracked)] {
+          return std::unique_ptr<Tracker>(
+              std::make_unique<SelectiveTracker>(n, tracked));
+        });
+  }
+  if (lower == "grouped") {
+    const size_t k = std::max<size_t>(1, params.num_groups);
+    return TrackerFactory([n, k, groups = RoundRobinGroups(n, k)] {
+      return std::unique_ptr<Tracker>(
+          std::make_unique<GroupedTracker>(n, groups, k));
+    });
+  }
 
   std::string known;
   for (const std::string& candidate : AllTrackerNames()) {

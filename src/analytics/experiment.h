@@ -56,6 +56,17 @@ struct ScalableParams {
 StatusOr<std::unique_ptr<Tracker>> CreateTrackerByName(
     std::string_view name, const Tin& tin, const ScalableParams& params);
 
+/// The construction behind CreateTrackerByName, packaged as a reusable
+/// closure for the lazy/ engines, which build one fresh tracker per
+/// query (LazyReplayEngine) or per snapshot restore (TimeTravelIndex).
+/// Selection preprocessing — Selective's TopGeneratingVertices scan,
+/// Grouped's assignment — runs once here, not per construction, so a
+/// lazy query never re-pays the paper's selection step. Name resolution
+/// matches CreateTrackerByName exactly.
+StatusOr<TrackerFactory> NamedTrackerFactory(std::string_view name,
+                                             const Tin& tin,
+                                             const ScalableParams& params);
+
 /// Every name CreateTrackerByName accepts, in reporting order: the
 /// Table 7/8 policies first, then the Section 5.2-5.3 scalable trackers.
 std::vector<std::string> AllTrackerNames();

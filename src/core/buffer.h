@@ -93,6 +93,16 @@ class BinaryHeap {
 
   size_t capacity() const { return items_.capacity(); }
 
+  /// The backing array in heap layout. Snapshot serialization stores it
+  /// verbatim so a restored heap pops equal-priority entries in exactly
+  /// the order the original would have — Restore() round-trips state
+  /// bit-exactly where rebuilding via Push() need not.
+  const std::vector<T>& Items() const { return items_; }
+
+  /// Replaces the contents with `items`, which must already satisfy the
+  /// heap property (e.g. a verbatim copy of another heap's Items()).
+  void AssignItems(std::vector<T> items) { items_ = std::move(items); }
+
  private:
   void SiftUp(size_t i) {
     while (i > 0) {

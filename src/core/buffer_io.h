@@ -1,0 +1,83 @@
+// Field-wise serialization of the provenance tuple types.
+//
+// ProvPair and ProvTriple carry alignment padding, so memcpy-ing whole
+// structs would leak indeterminate bytes into snapshots and break the
+// save -> restore -> save byte-equality contract of Tracker::SaveState.
+// These helpers write each field individually: the wire image is a pure
+// function of the logical state.
+#ifndef TINPROV_CORE_BUFFER_IO_H_
+#define TINPROV_CORE_BUFFER_IO_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/buffer.h"
+#include "util/serialize.h"
+
+namespace tinprov {
+
+inline constexpr size_t WireSize(const ProvPair&) {
+  return sizeof(VertexId) + sizeof(double);
+}
+
+inline constexpr size_t WireSize(const ProvTriple&) {
+  return sizeof(VertexId) + sizeof(Timestamp) + sizeof(double);
+}
+
+inline void AppendEntry(ByteWriter* writer, const ProvPair& entry) {
+  writer->Append(entry.origin);
+  writer->Append(entry.quantity);
+}
+
+inline void AppendEntry(ByteWriter* writer, const ProvTriple& entry) {
+  writer->Append(entry.origin);
+  writer->Append(entry.birth);
+  writer->Append(entry.quantity);
+}
+
+inline Status ReadEntry(ByteReader* reader, ProvPair* entry) {
+  Status status = reader->Read(&entry->origin);
+  if (!status.ok()) return status;
+  return reader->Read(&entry->quantity);
+}
+
+inline Status ReadEntry(ByteReader* reader, ProvTriple* entry) {
+  Status status = reader->Read(&entry->origin);
+  if (!status.ok()) return status;
+  status = reader->Read(&entry->birth);
+  if (!status.ok()) return status;
+  return reader->Read(&entry->quantity);
+}
+
+template <typename T>
+void AppendEntryVector(ByteWriter* writer, const std::vector<T>& values) {
+  writer->Append<uint64_t>(values.size());
+  for (const T& value : values) AppendEntry(writer, value);
+}
+
+template <typename T>
+Status ReadEntryVector(ByteReader* reader, std::vector<T>* out) {
+  uint64_t count = 0;
+  Status status = reader->Read(&count);
+  if (!status.ok()) return status;
+  // Gate the allocation on the remaining bytes so a corrupted length
+  // cannot demand more memory than the snapshot could possibly fill.
+  if (count > reader->remaining() / WireSize(T{})) {
+    return Status::InvalidArgument(
+        "snapshot truncated: entry vector of " + std::to_string(count) +
+        " entries exceeds the remaining bytes");
+  }
+  out->clear();
+  out->reserve(static_cast<size_t>(count));
+  for (uint64_t i = 0; i < count; ++i) {
+    T entry;
+    status = ReadEntry(reader, &entry);
+    if (!status.ok()) return status;
+    out->push_back(entry);
+  }
+  return Status::Ok();
+}
+
+}  // namespace tinprov
+
+#endif  // TINPROV_CORE_BUFFER_IO_H_

@@ -1,0 +1,90 @@
+#include "lazy/time_travel.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace tinprov {
+
+StatusOr<std::unique_ptr<TimeTravelIndex>> TimeTravelIndex::Build(
+    const Tin& tin, PolicyKind kind, size_t snapshot_interval) {
+  return Build(tin, PolicyTrackerFactory(tin, kind), snapshot_interval);
+}
+
+StatusOr<std::unique_ptr<TimeTravelIndex>> TimeTravelIndex::Build(
+    const Tin& tin, TrackerFactory factory, size_t snapshot_interval) {
+  if (!factory) {
+    return Status::InvalidArgument("time-travel index needs a factory");
+  }
+  const size_t interval = snapshot_interval == 0 ? 1 : snapshot_interval;
+  std::unique_ptr<TimeTravelIndex> index(
+      new TimeTravelIndex(tin, std::move(factory), interval));
+  std::unique_ptr<Tracker> tracker = index->factory_();
+  if (tracker == nullptr) {
+    return Status::Internal("tracker factory returned null");
+  }
+  const auto& log = tin.interactions();
+  for (size_t i = 0; i < log.size(); ++i) {
+    const Status status = tracker->Process(log[i]);
+    if (!status.ok()) {
+      return Status(status.code(), "time-travel build at interaction " +
+                                       std::to_string(i) + ": " +
+                                       status.message());
+    }
+    if ((i + 1) % interval == 0) {
+      Snapshot snapshot;
+      snapshot.prefix = i + 1;
+      tracker->SaveState(&snapshot.state);
+      index->snapshots_.push_back(std::move(snapshot));
+    }
+  }
+  return index;
+}
+
+StatusOr<Buffer> TimeTravelIndex::Provenance(VertexId v, Timestamp t) const {
+  if (v >= tin_->num_vertices()) {
+    return Status::InvalidArgument("query vertex " + std::to_string(v) +
+                                   " out of range");
+  }
+  const size_t prefix = PrefixLength(*tin_, t);
+  // Latest snapshot at or before the query prefix; none means the delta
+  // starts from a fresh tracker (t before the first checkpoint).
+  const auto it = std::upper_bound(
+      snapshots_.begin(), snapshots_.end(), prefix,
+      [](size_t p, const Snapshot& s) { return p < s.prefix; });
+  std::unique_ptr<Tracker> tracker = factory_();
+  if (tracker == nullptr) {
+    return Status::Internal("tracker factory returned null");
+  }
+  size_t start = 0;
+  if (it != snapshots_.begin()) {
+    const Snapshot& snapshot = *(it - 1);
+    const Status status =
+        tracker->RestoreState(snapshot.state.data(), snapshot.state.size());
+    if (!status.ok()) {
+      return Status(status.code(), "restoring snapshot at prefix " +
+                                       std::to_string(snapshot.prefix) +
+                                       ": " + status.message());
+    }
+    start = snapshot.prefix;
+  }
+  const auto& log = tin_->interactions();
+  for (size_t i = start; i < prefix; ++i) {
+    const Status status = tracker->Process(log[i]);
+    if (!status.ok()) {
+      return Status(status.code(), "delta replay at interaction " +
+                                       std::to_string(i) + ": " +
+                                       status.message());
+    }
+  }
+  return tracker->Provenance(v);
+}
+
+size_t TimeTravelIndex::MemoryUsage() const {
+  size_t bytes = 0;
+  for (const Snapshot& snapshot : snapshots_) {
+    bytes += snapshot.state.size() + sizeof(snapshot.prefix);
+  }
+  return bytes;
+}
+
+}  // namespace tinprov

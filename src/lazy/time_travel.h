@@ -1,0 +1,72 @@
+// The time-travel index: periodic tracker snapshots + delta replay.
+//
+// Pure lazy replay answers a historical Provenance(v, t) in O(prefix);
+// the index instead checkpoints the tracker's serialized state (the
+// snapshot/restore capability of policies/tracker.h) every
+// snapshot_interval interactions during one build replay. A query then
+// restores the nearest snapshot at or before t's prefix and replays
+// only the delta — O(snapshot + interval) instead of O(prefix) — at the
+// price of MemoryUsage() bytes of standing serialized state. bench_lazy
+// measures both sides of that trade.
+#ifndef TINPROV_LAZY_TIME_TRAVEL_H_
+#define TINPROV_LAZY_TIME_TRAVEL_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/buffer.h"
+#include "core/tin.h"
+#include "core/types.h"
+#include "lazy/replay.h"
+#include "policies/tracker.h"
+#include "util/status.h"
+
+namespace tinprov {
+
+class TimeTravelIndex {
+ public:
+  /// Builds the index over `tin` for `kind`, snapshotting every
+  /// `snapshot_interval` interactions (0 is treated as 1). Fails if the
+  /// build replay rejects an interaction.
+  static StatusOr<std::unique_ptr<TimeTravelIndex>> Build(
+      const Tin& tin, PolicyKind kind, size_t snapshot_interval);
+
+  /// As above for an arbitrary tracker factory (any policy or scalable
+  /// tracker); snapshots and queries construct trackers through it, so
+  /// it must build identically configured instances every call.
+  static StatusOr<std::unique_ptr<TimeTravelIndex>> Build(
+      const Tin& tin, TrackerFactory factory, size_t snapshot_interval);
+
+  /// Provenance of `v` at historical time `t` (inclusive): restore the
+  /// nearest snapshot at or before t's prefix, replay the delta. Equals
+  /// full-prefix replay bit-exactly. Times before the first interaction
+  /// yield an empty buffer.
+  StatusOr<Buffer> Provenance(VertexId v, Timestamp t) const;
+
+  size_t num_snapshots() const { return snapshots_.size(); }
+  size_t snapshot_interval() const { return interval_; }
+
+  /// Standing bytes of serialized snapshot state plus the per-snapshot
+  /// prefix bookkeeping (excluding container-header overhead, matching
+  /// the Tracker::MemoryUsage() accounting convention).
+  size_t MemoryUsage() const;
+
+ private:
+  struct Snapshot {
+    size_t prefix = 0;  // interactions already applied to `state`
+    std::vector<uint8_t> state;
+  };
+
+  TimeTravelIndex(const Tin& tin, TrackerFactory factory, size_t interval)
+      : tin_(&tin), factory_(std::move(factory)), interval_(interval) {}
+
+  const Tin* tin_;
+  TrackerFactory factory_;
+  size_t interval_;
+  std::vector<Snapshot> snapshots_;
+};
+
+}  // namespace tinprov
+
+#endif  // TINPROV_LAZY_TIME_TRAVEL_H_

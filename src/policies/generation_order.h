@@ -6,8 +6,10 @@
 #ifndef TINPROV_POLICIES_GENERATION_ORDER_H_
 #define TINPROV_POLICIES_GENERATION_ORDER_H_
 
+#include <utility>
 #include <vector>
 
+#include "core/buffer_io.h"
 #include "policies/tracker.h"
 
 namespace tinprov {
@@ -66,6 +68,32 @@ class GenerationOrderTracker : public Tracker {
   }
 
   size_t num_entries() const { return num_entries_; }
+
+ protected:
+  void SaveStateBody(ByteWriter* writer) const override {
+    writer->AppendSpan(totals_.data(), totals_.size());
+    // Heaps are serialized in array layout, not drain order: a restored
+    // heap then pops equal-birth entries exactly as the original would,
+    // keeping resumed replays bit-exact.
+    for (const BinaryHeap<ProvTriple, BirthOrder>& buffer : buffers_) {
+      AppendEntryVector(writer, buffer.Items());
+    }
+  }
+
+  Status RestoreStateBody(ByteReader* reader) override {
+    Status status = reader->ReadSpan(totals_.data(), totals_.size());
+    if (!status.ok()) return status;
+    num_entries_ = 0;
+    std::vector<ProvTriple> items;
+    for (BinaryHeap<ProvTriple, BirthOrder>& buffer : buffers_) {
+      status = ReadEntryVector(reader, &items);
+      if (!status.ok()) return status;
+      num_entries_ += items.size();
+      buffer.AssignItems(std::move(items));
+      // ReadEntryVector clear()s the moved-from vector before refilling.
+    }
+    return Status::Ok();
+  }
 
  private:
   void Push(VertexId v, const ProvTriple& entry) {

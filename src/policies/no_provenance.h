@@ -38,6 +38,15 @@ class NoProvenanceTracker : public Tracker {
     return balance_.capacity() * sizeof(double);
   }
 
+ protected:
+  void SaveStateBody(ByteWriter* writer) const override {
+    writer->AppendSpan(balance_.data(), balance_.size());
+  }
+
+  Status RestoreStateBody(ByteReader* reader) override {
+    return reader->ReadSpan(balance_.data(), balance_.size());
+  }
+
  private:
   std::vector<double> balance_;
 };

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "core/buffer_io.h"
+
 namespace tinprov {
 
 void MergeScaled(SparseVector* dst, const SparseVector& src,
@@ -126,6 +128,26 @@ Buffer SparseProportionalBase::Provenance(VertexId v) const {
 size_t SparseProportionalBase::MemoryUsage() const {
   return num_entries_ * sizeof(ProvPair) +
          totals_.capacity() * sizeof(double) + AuxiliaryBytes();
+}
+
+void SparseProportionalBase::SaveStateBody(ByteWriter* writer) const {
+  writer->AppendSpan(totals_.data(), totals_.size());
+  for (const SparseVector& buffer : buffers_) {
+    AppendEntryVector(writer, buffer);
+  }
+  SaveAuxState(writer);
+}
+
+Status SparseProportionalBase::RestoreStateBody(ByteReader* reader) {
+  Status status = reader->ReadSpan(totals_.data(), totals_.size());
+  if (!status.ok()) return status;
+  num_entries_ = 0;
+  for (SparseVector& buffer : buffers_) {
+    status = ReadEntryVector(reader, &buffer);
+    if (!status.ok()) return status;
+    num_entries_ += buffer.size();
+  }
+  return RestoreAuxState(reader);
 }
 
 void SparseProportionalBase::ClearAllEntries() {

@@ -72,6 +72,18 @@ class SparseProportionalBase : public Tracker {
   /// tracked-set masks, shrink counters), added into MemoryUsage().
   virtual size_t AuxiliaryBytes() const { return 0; }
 
+  /// Snapshot framing for the shared buffers/totals lives here; the
+  /// scalable subclasses append their own mutable state (window
+  /// position, shrink counters, ...) through these hooks. Configuration
+  /// (window size, tracked set, group map) is a constructor concern and
+  /// is deliberately not serialized.
+  void SaveStateBody(ByteWriter* writer) const final;
+  Status RestoreStateBody(ByteReader* reader) final;
+  virtual void SaveAuxState(ByteWriter* /*writer*/) const {}
+  virtual Status RestoreAuxState(ByteReader* /*reader*/) {
+    return Status::Ok();
+  }
+
   std::vector<SparseVector> buffers_;
   std::vector<double> totals_;
   size_t num_entries_ = 0;

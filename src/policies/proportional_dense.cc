@@ -57,4 +57,35 @@ size_t ProportionalDenseTracker::MemoryUsage() const {
          totals_.capacity() * sizeof(double);
 }
 
+void ProportionalDenseTracker::SaveStateBody(ByteWriter* writer) const {
+  writer->AppendSpan(totals_.data(), totals_.size());
+  // Lazily allocated rows keep their lazy shape across a snapshot: only
+  // touched vertices cost |V| doubles, mirroring MemoryUsage().
+  for (const std::vector<double>& buffer : buffers_) {
+    writer->Append<uint8_t>(buffer.empty() ? 0 : 1);
+    if (!buffer.empty()) writer->AppendSpan(buffer.data(), buffer.size());
+  }
+}
+
+Status ProportionalDenseTracker::RestoreStateBody(ByteReader* reader) {
+  Status status = reader->ReadSpan(totals_.data(), totals_.size());
+  if (!status.ok()) return status;
+  num_allocated_ = 0;
+  for (std::vector<double>& buffer : buffers_) {
+    uint8_t allocated = 0;
+    status = reader->Read(&allocated);
+    if (!status.ok()) return status;
+    if (allocated == 0) {
+      buffer.clear();
+      buffer.shrink_to_fit();
+      continue;
+    }
+    buffer.resize(num_vertices_);
+    status = reader->ReadSpan(buffer.data(), buffer.size());
+    if (!status.ok()) return status;
+    ++num_allocated_;
+  }
+  return Status::Ok();
+}
+
 }  // namespace tinprov

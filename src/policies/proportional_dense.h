@@ -34,6 +34,10 @@ class ProportionalDenseTracker : public Tracker {
 
   size_t MemoryUsage() const override;
 
+ protected:
+  void SaveStateBody(ByteWriter* writer) const override;
+  Status RestoreStateBody(ByteReader* reader) override;
+
  private:
   /// Vectors are allocated on a vertex's first credit, so actual memory
   /// is (#touched vertices) * |V| * 8 rather than the worst case.

@@ -1,5 +1,7 @@
 #include "policies/receipt_order.h"
 
+#include "core/buffer_io.h"
+
 namespace tinprov {
 
 ReceiptOrderTracker::ReceiptOrderTracker(size_t num_vertices, bool lifo)
@@ -82,6 +84,38 @@ Buffer ReceiptOrderTracker::Provenance(VertexId v) const {
 size_t ReceiptOrderTracker::MemoryUsage() const {
   return num_entries_ * sizeof(ProvPair) +
          totals_.capacity() * sizeof(double);
+}
+
+void ReceiptOrderTracker::SaveStateBody(ByteWriter* writer) const {
+  writer->AppendSpan(totals_.data(), totals_.size());
+  // Deques are stored in logical (oldest-first) order; the ring's head
+  // offset is an implementation detail that need not survive a restore.
+  for (const RingDeque<ProvPair>& buffer : buffers_) {
+    writer->Append<uint64_t>(buffer.size());
+    for (size_t i = 0; i < buffer.size(); ++i) {
+      AppendEntry(writer, buffer.At(i));
+    }
+  }
+}
+
+Status ReceiptOrderTracker::RestoreStateBody(ByteReader* reader) {
+  Status status = reader->ReadSpan(totals_.data(), totals_.size());
+  if (!status.ok()) return status;
+  num_entries_ = 0;
+  for (RingDeque<ProvPair>& buffer : buffers_) {
+    buffer.clear();
+    uint64_t count = 0;
+    status = reader->Read(&count);
+    if (!status.ok()) return status;
+    for (uint64_t i = 0; i < count; ++i) {
+      ProvPair entry;
+      status = ReadEntry(reader, &entry);
+      if (!status.ok()) return status;
+      buffer.PushBack(entry);
+    }
+    num_entries_ += buffer.size();
+  }
+  return Status::Ok();
 }
 
 }  // namespace tinprov

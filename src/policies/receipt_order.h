@@ -24,6 +24,10 @@ class ReceiptOrderTracker : public Tracker {
   /// Tuples currently stored across all buffers.
   size_t num_entries() const { return num_entries_; }
 
+ protected:
+  void SaveStateBody(ByteWriter* writer) const override;
+  Status RestoreStateBody(ByteReader* reader) override;
+
  private:
   // Takes up to `amount` from `v`'s buffer, appending the removed
   // fragments to `moved` in consumption order.

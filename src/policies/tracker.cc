@@ -40,6 +40,35 @@ StatusOr<PolicyKind> PolicyKindFromName(std::string_view name) {
                                  std::string(name) + "\"");
 }
 
+void Tracker::SaveState(std::vector<uint8_t>* out) const {
+  ByteWriter writer(out);
+  writer.Append<uint64_t>(num_vertices_);
+  writer.Append<double>(total_generated_);
+  SaveStateBody(&writer);
+}
+
+Status Tracker::RestoreState(const uint8_t* data, size_t size) {
+  ByteReader reader(data, size);
+  uint64_t num_vertices = 0;
+  Status status = reader.Read(&num_vertices);
+  if (!status.ok()) return status;
+  if (num_vertices != num_vertices_) {
+    return Status::InvalidArgument(
+        "snapshot taken over " + std::to_string(num_vertices) +
+        " vertices, tracker has " + std::to_string(num_vertices_));
+  }
+  status = reader.Read(&total_generated_);
+  if (!status.ok()) return status;
+  status = RestoreStateBody(&reader);
+  if (!status.ok()) return status;
+  if (reader.remaining() != 0) {
+    return Status::InvalidArgument(
+        "snapshot has " + std::to_string(reader.remaining()) +
+        " trailing bytes — policy mismatch?");
+  }
+  return Status::Ok();
+}
+
 Status Tracker::ProcessAll(const Tin& tin) {
   for (const Interaction& interaction : tin.interactions()) {
     const Status status = Process(interaction);

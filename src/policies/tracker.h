@@ -11,6 +11,8 @@
 #ifndef TINPROV_POLICIES_TRACKER_H_
 #define TINPROV_POLICIES_TRACKER_H_
 
+#include <cstdint>
+#include <functional>
 #include <memory>
 #include <string_view>
 #include <vector>
@@ -18,6 +20,7 @@
 #include "core/buffer.h"
 #include "core/tin.h"
 #include "core/types.h"
+#include "util/serialize.h"
 #include "util/status.h"
 
 namespace tinprov {
@@ -69,6 +72,22 @@ class Tracker {
   /// be O(1): measurement harnesses sample it inside the replay loop.
   virtual size_t MemoryUsage() const = 0;
 
+  /// Serializes the tracker's complete mutable replay state, appending
+  /// to `out`. The format is policy-private (util/serialize.h framing);
+  /// its only contract is that RestoreState() on a tracker constructed
+  /// with an identical configuration — same policy, same parameters,
+  /// same vertex count — resumes replay bit-exactly where the snapshot
+  /// was taken. The lazy/ time-travel index builds on this.
+  void SaveState(std::vector<uint8_t>* out) const;
+
+  /// Restores state produced by SaveState(). Returns InvalidArgument on
+  /// truncated, oversized, or mismatched-vertex-count input; the tracker
+  /// state is unspecified after a failed restore.
+  Status RestoreState(const uint8_t* data, size_t size);
+  Status RestoreState(const std::vector<uint8_t>& bytes) {
+    return RestoreState(bytes.data(), bytes.size());
+  }
+
   size_t num_vertices() const { return num_vertices_; }
 
   /// Total quantity generated so far across all vertices; equals the sum
@@ -76,6 +95,12 @@ class Tracker {
   double total_generated() const { return total_generated_; }
 
  protected:
+  /// Policy-specific halves of SaveState()/RestoreState(). The base
+  /// class frames them with the vertex count and total_generated_, and
+  /// rejects snapshots with trailing bytes after the body.
+  virtual void SaveStateBody(ByteWriter* writer) const = 0;
+  virtual Status RestoreStateBody(ByteReader* reader) = 0;
+
   /// Shared validity check + deficit computation. Validates the
   /// interaction against num_vertices_ before touching `totals` (so
   /// out-of-range ids never index it), then returns the quantity that
@@ -90,6 +115,13 @@ class Tracker {
 
 /// Builds a tracker for `kind` over `num_vertices` vertices.
 std::unique_ptr<Tracker> CreateTracker(PolicyKind kind, size_t num_vertices);
+
+/// Builds a fresh, identically configured tracker on every call. The
+/// lazy/ layer constructs one tracker per query (replay-on-demand) and
+/// one per snapshot restore (time travel), so configuration capture —
+/// policy, scalable parameters, selection preprocessing — lives in the
+/// closure, not in the engine.
+using TrackerFactory = std::function<std::unique_ptr<Tracker>()>;
 
 /// All policies in the paper's Table 7/8 column order.
 std::vector<PolicyKind> AllPolicies();

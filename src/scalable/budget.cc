@@ -54,6 +54,22 @@ void BudgetTracker::MaybeShrink(VertexId v) {
   ++total_shrinks_;
 }
 
+void BudgetTracker::SaveAuxState(ByteWriter* writer) const {
+  writer->AppendSpan(shrink_counts_.data(), shrink_counts_.size());
+  writer->Append<uint64_t>(total_shrinks_);
+}
+
+Status BudgetTracker::RestoreAuxState(ByteReader* reader) {
+  Status status =
+      reader->ReadSpan(shrink_counts_.data(), shrink_counts_.size());
+  if (!status.ok()) return status;
+  uint64_t total_shrinks = 0;
+  status = reader->Read(&total_shrinks);
+  if (!status.ok()) return status;
+  total_shrinks_ = static_cast<size_t>(total_shrinks);
+  return Status::Ok();
+}
+
 ShrinkStats BudgetTracker::ComputeShrinkStats() const {
   size_t shrunk_vertices = 0;
   uint64_t shrinks = 0;

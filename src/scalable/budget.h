@@ -57,6 +57,11 @@ class BudgetTracker : public SparseProportionalBase {
     return shrink_counts_.capacity() * sizeof(uint32_t);
   }
 
+  // Shrink counters are replay state (ShrinkStats must survive a
+  // snapshot boundary); capacity/keep_fraction are configuration.
+  void SaveAuxState(ByteWriter* writer) const override;
+  Status RestoreAuxState(ByteReader* reader) override;
+
  private:
   void MaybeShrink(VertexId v);
 

@@ -50,6 +50,9 @@ class GroupedTracker : public SparseProportionalBase {
   GroupId GroupOf(VertexId v) const { return groups_[v]; }
 
  protected:
+  // Snapshot/restore needs no override here: the group map is pure
+  // configuration, so the base class's buffers/totals framing already
+  // captures the full mutable state.
   VertexId GenerationLabel(VertexId src) const override {
     return groups_[src];
   }

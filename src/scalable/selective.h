@@ -45,6 +45,16 @@ class SelectiveTracker : public SparseProportionalBase {
     return tracked_.capacity() * sizeof(uint8_t);
   }
 
+  // tracked_generated_ is replay state; the tracked set itself is
+  // configuration and must match between snapshot and restore.
+  void SaveAuxState(ByteWriter* writer) const override {
+    writer->Append<double>(tracked_generated_);
+  }
+
+  Status RestoreAuxState(ByteReader* reader) override {
+    return reader->Read(&tracked_generated_);
+  }
+
  private:
   std::vector<uint8_t> tracked_;
   size_t num_tracked_ = 0;

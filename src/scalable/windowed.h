@@ -32,6 +32,26 @@ class WindowedTracker : public SparseProportionalBase {
     }
   }
 
+  // The window phase is replay state: a restored tracker must reset at
+  // the same global interaction counts as the original. The window size
+  // itself is configuration and stays with the constructor.
+  void SaveAuxState(ByteWriter* writer) const override {
+    writer->Append<uint64_t>(since_reset_);
+    writer->Append<uint64_t>(reset_count_);
+  }
+
+  Status RestoreAuxState(ByteReader* reader) override {
+    uint64_t since_reset = 0;
+    uint64_t reset_count = 0;
+    Status status = reader->Read(&since_reset);
+    if (!status.ok()) return status;
+    status = reader->Read(&reset_count);
+    if (!status.ok()) return status;
+    since_reset_ = static_cast<size_t>(since_reset);
+    reset_count_ = static_cast<size_t>(reset_count);
+    return Status::Ok();
+  }
+
  private:
   size_t window_;
   size_t since_reset_ = 0;
