@@ -4,6 +4,7 @@
 #include "analytics/report.h"
 #include "bench_util.h"
 #include "util/memory.h"
+#include "util/stopwatch.h"
 #include "util/strings.h"
 
 using namespace tinprov;
@@ -13,12 +14,21 @@ int main() {
   bench::PrintHeader("Table 6", "Characteristics of datasets");
   std::printf("scale = %g (paper sizes / 1000 for Bitcoin at scale 1)\n\n",
               scale);
+  bench::JsonBenchReporter reporter("bench_datasets");
 
   TablePrinter table({"Dataset", "#nodes", "#interactions", "#edges",
                       "avg r.q", "self-loops", "memory"});
   for (const DatasetKind kind : AllDatasets()) {
+    Stopwatch watch;
     const Tin tin = bench::MustMakeDataset(kind, scale);
+    const double gen_seconds = watch.ElapsedSeconds();
     const TinStats stats = tin.ComputeStats();
+    const double rate =
+        gen_seconds > 0.0
+            ? static_cast<double>(stats.num_interactions) / gen_seconds
+            : 0.0;
+    reporter.Record(std::string(DatasetName(kind)) + "/generate",
+                    gen_seconds, rate, tin.MemoryUsage());
     table.AddRow({std::string(DatasetName(kind)),
                   std::to_string(stats.num_vertices),
                   std::to_string(stats.num_interactions),

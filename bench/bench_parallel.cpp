@@ -1,0 +1,105 @@
+// Parallel sharded replay: pro-rata replay throughput versus thread
+// count on the Table 6 presets. Not a paper experiment — the paper's
+// Section 8 names parallel provenance tracking as future work; this
+// harness measures the repo's label-sharded realization of it
+// (src/parallel/sharded_replay.h), whose results are bit-identical to
+// the sequential trackers by construction (tests/test_parallel.cc).
+//
+// Expected shape: the list-heavy networks (many interactions per
+// vertex, long provenance lists) approach linear scaling, because the
+// superlinear list work dominates the replicated stream scan. Sparse
+// networks with short lists are scan-bound and gain little — the scan
+// is the Amdahl floor of this design.
+//
+// TINPROV_THREADS caps the sweep (default: up to 4 or the hardware
+// concurrency, whichever is larger — oversubscribed runs on small CPUs
+// still exercise the pool, they just cannot show real speedup).
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "analytics/experiment.h"
+#include "analytics/report.h"
+#include "bench_util.h"
+#include "parallel/sharded_replay.h"
+#include "util/memory.h"
+#include "util/strings.h"
+
+using namespace tinprov;
+
+namespace {
+
+size_t MaxThreads() {
+  const char* env = std::getenv("TINPROV_THREADS");
+  if (env != nullptr) {
+    const long parsed = std::atol(env);
+    if (parsed > 0) return static_cast<size_t>(parsed);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return std::max<size_t>(4, hw == 0 ? 1 : hw);
+}
+
+}  // namespace
+
+int main() {
+  const double scale = bench::GetScale();
+  bench::PrintHeader("Parallel replay",
+                     "Sharded pro-rata replay throughput vs threads");
+  bench::JsonBenchReporter reporter("bench_parallel");
+
+  std::vector<size_t> thread_counts = {1};
+  for (size_t t = 2; t <= MaxThreads(); t *= 2) thread_counts.push_back(t);
+  std::printf("hardware_concurrency = %u\n\n",
+              std::thread::hardware_concurrency());
+
+  const ScalableParams params;  // defaults; Prop-sparse ignores them
+  for (const DatasetKind dataset :
+       {DatasetKind::kFlights, DatasetKind::kTaxis, DatasetKind::kProsper}) {
+    const Tin tin = bench::MustMakeDataset(dataset, scale);
+    const std::string dataset_name(DatasetName(dataset));
+    std::printf("%s network (%zu vertices, %zu interactions):\n",
+                dataset_name.c_str(), tin.num_vertices(),
+                tin.num_interactions());
+    TablePrinter table({"threads", "time", "speedup", "inter/s", "memory",
+                        "path"});
+    double baseline_seconds = 0.0;
+    for (const size_t threads : thread_counts) {
+      ParallelParams parallel;
+      parallel.num_threads = threads;
+      auto m = MeasureNamedTracker("Prop-sparse", tin, params,
+                                   bench::kDenseMemoryLimit, parallel);
+      if (!m.ok()) {
+        std::fprintf(stderr, "measurement failed: %s\n",
+                     m.status().ToString().c_str());
+        return 1;
+      }
+      if (threads == 1) baseline_seconds = m->seconds;
+      const double rate =
+          m->seconds > 0.0
+              ? static_cast<double>(tin.num_interactions()) / m->seconds
+              : 0.0;
+      std::string speedup = "-";
+      if (m->seconds > 0.0) {
+        speedup = FormatCompact(baseline_seconds / m->seconds, 2) + "x";
+      }
+      table.AddRow({std::to_string(threads), FormatSeconds(m->seconds),
+                    speedup, FormatCompact(rate, 2),
+                    FormatBytes(m->peak_memory),
+                    m->parallel ? "sharded" : "sequential"});
+      reporter.Record(dataset_name + "/Prop-sparse/t" +
+                          std::to_string(threads),
+                      m->seconds, rate, m->peak_memory);
+    }
+    std::printf("%s\n", table.ToString().c_str());
+  }
+  std::printf(
+      "Expected shape: list-heavy networks (Flights, Taxis) approach "
+      "linear scaling;\nthe replicated stream scan is the sequential "
+      "floor, so sparse short-list\nnetworks gain less. Results are "
+      "bit-identical to sequential replay at any\nthread count "
+      "(tests/test_parallel.cc proves it).\n");
+  return 0;
+}

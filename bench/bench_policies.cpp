@@ -17,6 +17,7 @@ int main() {
   const double scale = bench::GetScale();
   bench::PrintHeader("Tables 7 & 8",
                      "Runtime (sec) and peak memory per selection policy");
+  bench::JsonBenchReporter reporter("bench_policies");
 
   const std::vector<PolicyKind> policies = AllPolicies();
   std::vector<std::string> headers = {"Dataset"};
@@ -45,6 +46,13 @@ int main() {
       }
       runtime_row.push_back(FormatSeconds(m->seconds));
       memory_row.push_back(FormatBytes(m->peak_memory));
+      const double rate =
+          m->seconds > 0.0
+              ? static_cast<double>(tin.num_interactions()) / m->seconds
+              : 0.0;
+      reporter.Record(std::string(DatasetName(dataset)) + "/" +
+                          std::string(PolicyName(kind)),
+                      m->seconds, rate, m->peak_memory);
     }
     runtime_table.AddRow(runtime_row);
     memory_table.AddRow(memory_row);

@@ -4,12 +4,20 @@
 // = laptop-sized presets, see datagen/presets.h); raise it to approach
 // paper-sized runs. Output is printed as aligned tables whose rows mirror
 // the corresponding paper table or figure series.
+//
+// Setting TINPROV_BENCH_JSON=<path> additionally records every measured
+// row as a google-benchmark-format JSON file (the BENCH_*.json
+// trajectory points; see scripts/bench_baseline.sh), so perf history is
+// machine-comparable across commits.
 #ifndef TINPROV_BENCH_BENCH_UTIL_H_
 #define TINPROV_BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
 #include <cstdlib>
+#include <ctime>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "datagen/presets.h"
 #include "util/status.h"
@@ -49,6 +57,111 @@ inline void PrintHeader(const char* experiment_id, const char* description) {
   std::printf("(synthetic stand-in datasets; compare shapes, not absolutes)\n");
   std::printf("==============================================================\n");
 }
+
+/// Collects named measurements and, when $TINPROV_BENCH_JSON names a
+/// path, writes them on destruction in the shape google-benchmark emits
+/// with --benchmark_format=json: a "context" object and a "benchmarks"
+/// array whose entries carry name / real_time / time_unit (plus our
+/// items_per_second and peak_memory counters). scripts/bench_compare.py
+/// consumes either producer interchangeably. With the variable unset
+/// the reporter is inert, so instrumented benches cost nothing in
+/// normal table runs.
+class JsonBenchReporter {
+ public:
+  explicit JsonBenchReporter(const char* executable) {
+    const char* path = std::getenv("TINPROV_BENCH_JSON");
+    if (path != nullptr && path[0] != '\0') path_ = path;
+    executable_ = executable;
+  }
+
+  JsonBenchReporter(const JsonBenchReporter&) = delete;
+  JsonBenchReporter& operator=(const JsonBenchReporter&) = delete;
+
+  bool active() const { return !path_.empty(); }
+
+  /// Records one measurement. `items_per_second` and `peak_memory` are
+  /// omitted from the JSON when zero.
+  void Record(const std::string& name, double real_seconds,
+              double items_per_second = 0.0, size_t peak_memory = 0) {
+    if (!active()) return;
+    entries_.push_back({name, real_seconds, items_per_second, peak_memory});
+  }
+
+  ~JsonBenchReporter() {
+    if (!active()) return;
+    std::FILE* out = std::fopen(path_.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "warning: cannot write %s\n", path_.c_str());
+      return;
+    }
+    char date[32] = "";
+    const std::time_t now = std::time(nullptr);
+    std::tm tm_buf{};
+    if (gmtime_r(&now, &tm_buf) != nullptr) {
+      std::strftime(date, sizeof(date), "%Y-%m-%dT%H:%M:%SZ", &tm_buf);
+    }
+    std::fprintf(out,
+                 "{\n"
+                 "  \"context\": {\n"
+                 "    \"date\": \"%s\",\n"
+                 "    \"executable\": \"%s\",\n"
+                 "    \"num_cpus\": %u,\n"
+                 "    \"tinprov_scale\": %g\n"
+                 "  },\n"
+                 "  \"benchmarks\": [\n",
+                 date, Escaped(executable_).c_str(),
+                 std::thread::hardware_concurrency(), GetScale());
+    for (size_t i = 0; i < entries_.size(); ++i) {
+      const Entry& e = entries_[i];
+      std::fprintf(out,
+                   "    {\n"
+                   "      \"name\": \"%s\",\n"
+                   "      \"run_name\": \"%s\",\n"
+                   "      \"run_type\": \"iteration\",\n"
+                   "      \"repetitions\": 1,\n"
+                   "      \"iterations\": 1,\n"
+                   "      \"real_time\": %.9g,\n"
+                   "      \"cpu_time\": %.9g,\n"
+                   "      \"time_unit\": \"s\"",
+                   Escaped(e.name).c_str(), Escaped(e.name).c_str(),
+                   e.real_seconds, e.real_seconds);
+      if (e.items_per_second > 0.0) {
+        std::fprintf(out, ",\n      \"items_per_second\": %.9g",
+                     e.items_per_second);
+      }
+      if (e.peak_memory > 0) {
+        std::fprintf(out, ",\n      \"peak_memory\": %zu", e.peak_memory);
+      }
+      std::fprintf(out, "\n    }%s\n", i + 1 < entries_.size() ? "," : "");
+    }
+    std::fprintf(out, "  ]\n}\n");
+    std::fclose(out);
+    std::printf("wrote %zu benchmark records to %s\n", entries_.size(),
+                path_.c_str());
+  }
+
+ private:
+  struct Entry {
+    std::string name;
+    double real_seconds;
+    double items_per_second;
+    size_t peak_memory;
+  };
+
+  static std::string Escaped(const std::string& raw) {
+    std::string out;
+    out.reserve(raw.size());
+    for (const char c : raw) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      if (static_cast<unsigned char>(c) >= 0x20) out.push_back(c);
+    }
+    return out;
+  }
+
+  std::string path_;
+  std::string executable_;
+  std::vector<Entry> entries_;
+};
 
 }  // namespace tinprov::bench
 

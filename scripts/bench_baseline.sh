@@ -1,0 +1,70 @@
+#!/usr/bin/env bash
+# Records the machine-readable perf trajectory: runs the instrumented
+# benches at a smoke scale and collects google-benchmark-format JSON
+# (BENCH_*.json) for bench_micro (native --benchmark_out) and for the
+# table harnesses (via the TINPROV_BENCH_JSON reporter in
+# bench/bench_util.h).
+#
+# Usage: scripts/bench_baseline.sh [build-dir] [out-dir]
+#   build-dir  default: build
+#   out-dir    default: bench-json
+#
+# Environment:
+#   TINPROV_SCALE           dataset scale for the table harnesses
+#                           (default 0.1 — keep it fixed when comparing)
+#   TINPROV_BENCH_MIN_TIME  bench_micro --benchmark_min_time (default 0.05)
+#   TINPROV_BASELINE_DIR    when set, compare the fresh JSON against the
+#                           baselines in that directory with
+#                           scripts/bench_compare.py (warn-only)
+#
+# The committed trajectory lives in bench/baselines/; refresh it with
+#   scripts/bench_baseline.sh build bench/baselines
+# on the baseline machine and commit the diff.
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+OUT_DIR="${2:-bench-json}"
+SCALE="${TINPROV_SCALE:-0.1}"
+MIN_TIME="${TINPROV_BENCH_MIN_TIME:-0.05}"
+
+if [[ ! -d "${BUILD_DIR}/bench" ]]; then
+  echo "error: ${BUILD_DIR}/bench not found — configure and build first:" >&2
+  echo "  cmake -B ${BUILD_DIR} -S . && cmake --build ${BUILD_DIR} -j" >&2
+  exit 1
+fi
+mkdir -p "${OUT_DIR}"
+
+if [[ -x "${BUILD_DIR}/bench/bench_micro" ]]; then
+  echo "--- bench_micro -> ${OUT_DIR}/BENCH_micro.json"
+  "${BUILD_DIR}/bench/bench_micro" \
+    --benchmark_min_time="${MIN_TIME}" \
+    --benchmark_out="${OUT_DIR}/BENCH_micro.json" \
+    --benchmark_out_format=json >/dev/null
+else
+  echo "--- skipping bench_micro (google-benchmark not available)"
+fi
+
+json_run() {
+  local name="$1"
+  local out="$2"
+  local exe="${BUILD_DIR}/bench/${name}"
+  if [[ ! -x "${exe}" ]]; then
+    echo "--- skipping ${name} (not built)"
+    return 0
+  fi
+  echo "--- ${name} -> ${out} (TINPROV_SCALE=${SCALE})"
+  TINPROV_SCALE="${SCALE}" TINPROV_BENCH_JSON="${out}" "${exe}" >/dev/null
+}
+
+json_run bench_policies "${OUT_DIR}/BENCH_policies.json"
+json_run bench_datasets "${OUT_DIR}/BENCH_datasets.json"
+json_run bench_parallel "${OUT_DIR}/BENCH_parallel.json"
+
+echo "baseline: $(ls "${OUT_DIR}"/BENCH_*.json 2>/dev/null | wc -l) JSON files in ${OUT_DIR}"
+
+if [[ -n "${TINPROV_BASELINE_DIR:-}" ]]; then
+  # Regression gate is advisory: machines differ, CI runners are noisy;
+  # the comparison prints >25% slowdowns and always exits 0 here.
+  python3 "$(dirname "$0")/bench_compare.py" \
+    "${TINPROV_BASELINE_DIR}" "${OUT_DIR}" || true
+fi

@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Compare two directories of BENCH_*.json perf-trajectory files.
+
+Both google-benchmark's --benchmark_out JSON and the bench_util.h
+JsonBenchReporter emit the same shape: {"context": ..., "benchmarks":
+[{"name", "real_time", "time_unit", ...}]}. Benchmarks are matched by
+(file, name); a benchmark is flagged when its real_time grew by more
+than the threshold (default 25%).
+
+Usage: bench_compare.py BASELINE_DIR CURRENT_DIR [--threshold 0.25]
+                        [--strict]
+
+Exits 0 unless --strict is given and a regression was found. Only the
+standard library is used.
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+TIME_UNITS = {"ns": 1e-9, "us": 1e-6, "ms": 1e-3, "s": 1.0}
+
+
+def load_times(path):
+    """Returns {benchmark name: real_time in seconds}."""
+    with open(path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    times = {}
+    for bench in data.get("benchmarks", []):
+        if bench.get("run_type", "iteration") != "iteration":
+            continue  # skip aggregate rows (mean/median/stddev)
+        name = bench.get("name")
+        real = bench.get("real_time")
+        if name is None or real is None:
+            continue
+        times[name] = real * TIME_UNITS.get(bench.get("time_unit", "ns"), 1e-9)
+    return times
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline_dir", type=pathlib.Path)
+    parser.add_argument("current_dir", type=pathlib.Path)
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="relative slowdown that counts as a "
+                             "regression (default 0.25 = 25%%)")
+    parser.add_argument("--strict", action="store_true",
+                        help="exit 1 when a regression is found")
+    args = parser.parse_args()
+
+    regressions = []
+    improvements = []
+    compared = 0
+    for current_path in sorted(args.current_dir.glob("BENCH_*.json")):
+        baseline_path = args.baseline_dir / current_path.name
+        if not baseline_path.exists():
+            print(f"note: no baseline for {current_path.name}, skipping")
+            continue
+        try:
+            baseline = load_times(baseline_path)
+            current = load_times(current_path)
+        except (OSError, json.JSONDecodeError) as error:
+            print(f"warning: cannot compare {current_path.name}: {error}")
+            continue
+        for name, base_time in sorted(baseline.items()):
+            cur_time = current.get(name)
+            if cur_time is None or base_time <= 0.0:
+                continue
+            compared += 1
+            ratio = cur_time / base_time
+            record = (current_path.name, name, base_time, cur_time, ratio)
+            if ratio > 1.0 + args.threshold:
+                regressions.append(record)
+            elif ratio < 1.0 - args.threshold:
+                improvements.append(record)
+
+    print(f"bench_compare: {compared} benchmarks compared against "
+          f"{args.baseline_dir}")
+    for label, records in (("REGRESSION", regressions),
+                           ("improvement", improvements)):
+        for file_name, name, base_time, cur_time, ratio in records:
+            print(f"  {label}: {file_name}:{name}  "
+                  f"{base_time * 1e3:.3f}ms -> {cur_time * 1e3:.3f}ms  "
+                  f"({ratio:.2f}x)")
+    if not regressions:
+        print(f"  no regressions beyond {args.threshold:.0%} "
+              f"({len(improvements)} improvements)")
+    if regressions and args.strict:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

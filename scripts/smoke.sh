@@ -74,6 +74,9 @@ run_pinned 0.1 bench_budget
 # smoke scale stays pinned like the scalable sweeps above; its output
 # additionally lands in TINPROV_LAZY_SMOKE_LOG when set.
 TINPROV_SCALE=0.1 run_logged "${TINPROV_LAZY_SMOKE_LOG:-}" bench_lazy
+# bench_parallel replays each preset once per thread count (and each
+# shard re-scans the stream), so its smoke scale stays pinned too.
+run_pinned 0.1 bench_parallel
 run bench_micro --benchmark_min_time=0.01
 
 echo "smoke: all registered benches completed"

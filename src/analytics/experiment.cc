@@ -5,6 +5,7 @@
 
 #include "lazy/replay.h"
 #include "policies/proportional_dense.h"
+#include "policies/proportional_sparse.h"
 #include "scalable/grouped.h"
 #include "scalable/selective.h"
 #include "scalable/windowed.h"
@@ -82,33 +83,22 @@ StatusOr<TrackerFactory> NamedTrackerFactory(std::string_view name,
   }
 
   const std::string lower = AsciiLower(name);
-  if (lower == "windowed") {
-    return TrackerFactory([n, window = params.window] {
-      return std::unique_ptr<Tracker>(
-          std::make_unique<WindowedTracker>(n, window));
-    });
-  }
   if (lower == "budget") {
     return TrackerFactory([n, budget = params.budget] {
       return std::unique_ptr<Tracker>(
           std::make_unique<BudgetTracker>(n, budget));
     });
   }
-  if (lower == "selective") {
-    // The selection scan runs once, outside the closure: it is the
-    // paper's preprocessing step, excluded from per-query tracking cost.
-    return TrackerFactory(
-        [n, tracked = TopGeneratingVertices(tin, params.num_tracked)] {
-          return std::unique_ptr<Tracker>(
-              std::make_unique<SelectiveTracker>(n, tracked));
-        });
-  }
-  if (lower == "grouped") {
-    const size_t k = std::max<size_t>(1, params.num_groups);
-    return TrackerFactory([n, k, groups = RoundRobinGroups(n, k)] {
-      return std::unique_ptr<Tracker>(
-          std::make_unique<GroupedTracker>(n, groups, k));
-    });
+  if (lower == "windowed" || lower == "selective" || lower == "grouped") {
+    // Label-decomposable trackers are constructed in exactly one place —
+    // NamedShardedSpec — and the sequential closure there is the shard
+    // factory unrestricted, so the parallel engine and this factory can
+    // never configure the same name differently. The selection
+    // preprocessing (Selective's scan, Grouped's assignment) still runs
+    // once, captured in the closure; per-query construction stays cheap.
+    auto spec = NamedShardedSpec(name, tin, params);
+    if (!spec.ok()) return spec.status();
+    return std::move(spec->sequential);
   }
 
   std::string known;
@@ -133,6 +123,60 @@ std::vector<std::string> AllTrackerNames() {
   return names;
 }
 
+StatusOr<ShardedSpec> NamedShardedSpec(std::string_view name, const Tin& tin,
+                                       const ScalableParams& params) {
+  ShardedSpec spec;
+  const size_t n = tin.num_vertices();
+  const auto kind = PolicyKindFromName(name);
+  const std::string lower = AsciiLower(name);
+  // Order-based policies consume entries across labels, the dense
+  // representation is memory-gated, and BudgetTracker's shrink ranks a
+  // vertex's whole list — none of those decompose; everything
+  // label-linear gets a make_shard closure below, with its selection
+  // preprocessing run exactly once and captured.
+  if (kind.ok() && *kind == PolicyKind::kProportionalSparse) {
+    spec.decomposable = true;
+    spec.label_count = n;
+    spec.make_shard = [n] {
+      return std::make_unique<ProportionalSparseTracker>(n);
+    };
+  } else if (!kind.ok() && lower == "windowed") {
+    spec.decomposable = true;
+    spec.label_count = n;
+    spec.make_shard = [n, window = params.window] {
+      return std::make_unique<WindowedTracker>(n, window);
+    };
+  } else if (!kind.ok() && lower == "selective") {
+    spec.decomposable = true;
+    spec.label_count = n;
+    spec.make_shard =
+        [n, tracked = TopGeneratingVertices(tin, params.num_tracked)] {
+          return std::make_unique<SelectiveTracker>(n, tracked);
+        };
+  } else if (!kind.ok() && lower == "grouped") {
+    const size_t k = std::max<size_t>(1, params.num_groups);
+    spec.decomposable = true;
+    spec.label_count = k;  // labels are group ids, not vertices
+    spec.make_shard = [n, k, groups = RoundRobinGroups(n, k)] {
+      return std::make_unique<GroupedTracker>(n, groups, k);
+    };
+  }
+
+  if (spec.decomposable) {
+    // The sequential reference is the shard factory unrestricted, so
+    // shard and reference trackers cannot drift apart: the engine's
+    // bit-identical contract rests on them sharing one configuration.
+    spec.sequential = [factory = spec.make_shard] {
+      return std::unique_ptr<Tracker>(factory());
+    };
+    return spec;
+  }
+  auto sequential = NamedTrackerFactory(name, tin, params);
+  if (!sequential.ok()) return sequential.status();
+  spec.sequential = *std::move(sequential);
+  return spec;
+}
+
 StatusOr<Measurement> MeasureNamedTracker(std::string_view name,
                                           const Tin& tin,
                                           const ScalableParams& params,
@@ -150,6 +194,34 @@ StatusOr<Measurement> MeasureNamedTracker(std::string_view name,
   auto tracker = CreateTrackerByName(name, tin, params);
   if (!tracker.ok()) return tracker.status();
   return MeasureRun(tracker->get(), tin, std::string(name));
+}
+
+StatusOr<Measurement> MeasureNamedTracker(std::string_view name,
+                                          const Tin& tin,
+                                          const ScalableParams& params,
+                                          size_t dense_memory_limit,
+                                          const ParallelParams& parallel) {
+  auto spec = NamedShardedSpec(name, tin, params);
+  if (!spec.ok()) return spec.status();
+  const bool decomposable = spec->decomposable;
+  ShardedReplayEngine engine(tin, *std::move(spec), parallel);
+  if (!decomposable || engine.ResolvedThreads() <= 1) {
+    // Non-decomposable or single-threaded: the classic path measures
+    // the same replay and additionally samples the in-run memory peak.
+    return MeasureNamedTracker(name, tin, params, dense_memory_limit);
+  }
+  auto result = engine.Replay();
+  if (!result.ok()) return result.status();
+  Measurement measurement;
+  // replay_seconds excludes the exchange/materialization phase, making
+  // this number comparable to MeasureRun's Process()-loop timing: a
+  // sequential tracker needs no exchange to become queryable, and
+  // neither do the shard trackers (QueryPrefix interleaves on demand).
+  measurement.seconds = result->replay_seconds;
+  measurement.peak_memory = result->num_entries * sizeof(ProvPair) +
+                            tin.num_vertices() * sizeof(double);
+  measurement.parallel = result->used_parallel_path;
+  return measurement;
 }
 
 }  // namespace tinprov

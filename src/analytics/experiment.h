@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "core/tin.h"
+#include "parallel/sharded_replay.h"
 #include "policies/tracker.h"
 #include "scalable/budget.h"
 #include "util/status.h"
@@ -21,6 +22,7 @@ struct Measurement {
   double seconds = 0.0;
   size_t peak_memory = 0;  // peak Tracker::MemoryUsage() during replay
   bool feasible = true;    // false: skipped by the memory gate, no run
+  bool parallel = false;   // true: measured via the sharded replay engine
 };
 
 /// Replays `tin` through `tracker`, returning wall time and the peak of
@@ -79,6 +81,28 @@ StatusOr<Measurement> MeasureNamedTracker(std::string_view name,
                                           const Tin& tin,
                                           const ScalableParams& params,
                                           size_t dense_memory_limit);
+
+/// Sharded-replay description of the named tracker for the parallel
+/// engine. Name resolution matches CreateTrackerByName; selection
+/// preprocessing (Selective's scan, Grouped's assignment) runs once
+/// here. Pro-rata trackers with label-linear semantics — Prop-sparse,
+/// Selective, Grouped, Windowed — come back decomposable; every other
+/// name yields a sequential-only spec the engine still accepts, so
+/// callers can pass any factory name.
+StatusOr<ShardedSpec> NamedShardedSpec(std::string_view name, const Tin& tin,
+                                       const ScalableParams& params);
+
+/// Like MeasureNamedTracker, but replays through the parallel sharded
+/// engine when `parallel` resolves to more than one shard and the name
+/// is decomposable (results stay bit-identical either way — see
+/// parallel/sharded_replay.h). On the parallel path peak_memory is the
+/// end-of-replay logical footprint (per-interaction peak sampling would
+/// serialize the shards).
+StatusOr<Measurement> MeasureNamedTracker(std::string_view name,
+                                          const Tin& tin,
+                                          const ScalableParams& params,
+                                          size_t dense_memory_limit,
+                                          const ParallelParams& parallel);
 
 }  // namespace tinprov
 

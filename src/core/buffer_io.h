@@ -49,14 +49,18 @@ inline Status ReadEntry(ByteReader* reader, ProvTriple* entry) {
   return reader->Read(&entry->quantity);
 }
 
-template <typename T>
-void AppendEntryVector(ByteWriter* writer, const std::vector<T>& values) {
+// Vec is any contiguous container of ProvPair/ProvTriple with
+// std::vector's basic interface — std::vector itself for the ordered
+// policies, util/pool.h's PooledVec for the proportional lists.
+template <typename Vec>
+void AppendEntryVector(ByteWriter* writer, const Vec& values) {
   writer->Append<uint64_t>(values.size());
-  for (const T& value : values) AppendEntry(writer, value);
+  for (const auto& value : values) AppendEntry(writer, value);
 }
 
-template <typename T>
-Status ReadEntryVector(ByteReader* reader, std::vector<T>* out) {
+template <typename Vec>
+Status ReadEntryVector(ByteReader* reader, Vec* out) {
+  using T = typename Vec::value_type;
   uint64_t count = 0;
   Status status = reader->Read(&count);
   if (!status.ok()) return status;

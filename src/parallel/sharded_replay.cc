@@ -1,0 +1,333 @@
+#include "parallel/sharded_replay.h"
+
+#include <algorithm>
+#include <atomic>
+#include <string>
+#include <utility>
+
+#include "util/stopwatch.h"
+
+#if !defined(TINPROV_NO_THREADS)
+#include <thread>
+#endif
+
+namespace tinprov {
+
+namespace {
+
+size_t HardwareThreads() {
+#if defined(TINPROV_NO_THREADS)
+  return 1;
+#else
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<size_t>(n);
+#endif
+}
+
+/// Runs `task(index)` for every index in [0, count) on up to
+/// `num_threads` workers. Indices are claimed from a shared atomic
+/// counter, so a slow task never blocks the remaining ones behind a
+/// fixed pre-assignment (shard-granularity work stealing). The calling
+/// thread is worker 0. `task` must not throw.
+template <typename Task>
+void RunSelfScheduled(size_t count, size_t num_threads, const Task& task) {
+  if (count == 0) return;
+  std::atomic<size_t> next{0};
+  const auto worker = [&next, count, &task] {
+    for (;;) {
+      const size_t index = next.fetch_add(1, std::memory_order_relaxed);
+      if (index >= count) return;
+      task(index);
+    }
+  };
+#if !defined(TINPROV_NO_THREADS)
+  const size_t spawned = std::min(num_threads, count) - 1;
+  std::vector<std::thread> threads;
+  threads.reserve(spawned);
+  for (size_t t = 0; t < spawned; ++t) threads.emplace_back(worker);
+  worker();
+  for (std::thread& thread : threads) thread.join();
+#else
+  (void)num_threads;
+  worker();
+#endif
+}
+
+/// The deterministic single-vertex exchange: interleaves v's disjoint
+/// shard slices into one label-sorted list by repeated min-head
+/// selection (shard counts are small; slices are disjoint, so ties are
+/// impossible). Shared by ReplayPrefix's phase 2 and QueryPrefix so the
+/// two cannot drift apart. `cursor` is caller-provided scratch of at
+/// least trackers.size() elements.
+void InterleaveVertexSlices(
+    const std::vector<std::unique_ptr<SparseProportionalBase>>& trackers,
+    VertexId v, std::vector<ProvPair>* out, std::vector<size_t>* cursor) {
+  const size_t shards = trackers.size();
+  size_t total_len = 0;
+  for (size_t s = 0; s < shards; ++s) {
+    (*cursor)[s] = 0;
+    total_len += trackers[s]->EntriesOf(v).size();
+  }
+  out->reserve(total_len);
+  for (size_t picked = 0; picked < total_len; ++picked) {
+    size_t best = shards;
+    VertexId best_origin = kInvalidVertex;
+    for (size_t s = 0; s < shards; ++s) {
+      const SparseVector& list = trackers[s]->EntriesOf(v);
+      if ((*cursor)[s] < list.size() &&
+          (best == shards || list[(*cursor)[s]].origin < best_origin)) {
+        best = s;
+        best_origin = list[(*cursor)[s]].origin;
+      }
+    }
+    out->push_back(trackers[best]->EntriesOf(v)[(*cursor)[best]]);
+    ++(*cursor)[best];
+  }
+}
+
+}  // namespace
+
+Buffer ShardedReplayResult::Provenance(VertexId v) const {
+  Buffer buffer;
+  buffer.total = totals[v];
+  buffer.entries = entries[v];
+  return buffer;
+}
+
+ShardedReplayEngine::ShardedReplayEngine(const Tin& tin, ShardedSpec spec,
+                                         ParallelParams params)
+    : tin_(&tin), spec_(std::move(spec)), params_(params) {}
+
+size_t ShardedReplayEngine::ResolvedThreads() const {
+  return params_.num_threads == 0 ? HardwareThreads() : params_.num_threads;
+}
+
+std::vector<GroupId> ShardedReplayEngine::AssignLabels(const Tin& tin,
+                                                       ShardStrategy strategy,
+                                                       size_t label_count,
+                                                       size_t num_shards) {
+  switch (strategy) {
+    case ShardStrategy::kRoundRobin:
+      return RoundRobinGroups(label_count, num_shards);
+    case ShardStrategy::kHash:
+      return HashGroups(label_count, num_shards);
+    case ShardStrategy::kContiguous:
+      return ContiguousGroups(label_count, num_shards);
+    case ShardStrategy::kActivity:
+      // LPT over interaction activity only makes sense when labels ARE
+      // vertices; group-id label spaces fall back to round-robin.
+      if (label_count == tin.num_vertices()) {
+        return ActivityGroups(tin, num_shards);
+      }
+      return RoundRobinGroups(label_count, num_shards);
+  }
+  return RoundRobinGroups(label_count, num_shards);
+}
+
+StatusOr<ShardedReplayResult> ShardedReplayEngine::Replay() const {
+  return ReplayPrefix(tin_->num_interactions());
+}
+
+StatusOr<std::unique_ptr<Tracker>> ShardedReplayEngine::SequentialTracker(
+    size_t prefix) const {
+  if (!spec_.sequential) {
+    return Status::FailedPrecondition(
+        "sharded spec has no sequential tracker factory");
+  }
+  std::unique_ptr<Tracker> tracker = spec_.sequential();
+  if (tracker == nullptr) {
+    return Status::Internal("sequential tracker factory returned null");
+  }
+  tracker->ReserveHint(*tin_);
+  const auto& log = tin_->interactions();
+  for (size_t i = 0; i < prefix; ++i) {
+    const Status status = tracker->Process(log[i]);
+    if (!status.ok()) {
+      return Status(status.code(), "sequential replay at interaction " +
+                                       std::to_string(i) + ": " +
+                                       status.message());
+    }
+  }
+  return tracker;
+}
+
+StatusOr<ShardedReplayResult> ShardedReplayEngine::SequentialReplay(
+    size_t prefix) const {
+  Stopwatch watch;
+  auto replayed = SequentialTracker(prefix);
+  if (!replayed.ok()) return replayed.status();
+  const double replay_seconds = watch.ElapsedSeconds();
+  std::unique_ptr<Tracker> tracker = *std::move(replayed);
+  const size_t n = tin_->num_vertices();
+  ShardedReplayResult result;
+  result.num_vertices = n;
+  result.interactions_replayed = prefix;
+  result.replay_seconds = replay_seconds;
+  result.totals.resize(n);
+  result.entries.resize(n);
+  for (VertexId v = 0; v < n; ++v) {
+    Buffer buffer = tracker->Provenance(v);
+    result.totals[v] = buffer.total;
+    result.num_entries += buffer.entries.size();
+    result.entries[v] = std::move(buffer.entries);
+  }
+  result.total_generated = tracker->total_generated();
+  return result;
+}
+
+bool ShardedReplayEngine::UsesShards(size_t* num_shards) const {
+  const size_t threads = ResolvedThreads();
+  size_t shards = params_.num_shards == 0 ? threads : params_.num_shards;
+  shards = std::min(shards, spec_.label_count);
+  *num_shards = shards;
+  return spec_.decomposable && spec_.make_shard != nullptr && shards > 1;
+}
+
+StatusOr<ShardedReplayEngine::ShardRun> ShardedReplayEngine::RunShards(
+    size_t prefix, size_t num_shards) const {
+  const size_t threads = ResolvedThreads();
+  const size_t label_count = spec_.label_count;
+  ShardRun run;
+  run.num_shards = num_shards;
+  run.num_threads = std::min(threads, num_shards);
+
+  // Phase 0: deterministic label partition, independent of threading.
+  const std::vector<GroupId> assignment =
+      AssignLabels(*tin_, params_.strategy, label_count, num_shards);
+  run.masks.assign(num_shards, std::vector<uint8_t>(label_count, 0));
+  run.labels_per_shard.assign(num_shards, 0);
+  for (size_t label = 0; label < label_count; ++label) {
+    const GroupId shard = assignment[label];
+    run.masks[shard][label] = 1;
+    ++run.labels_per_shard[shard];
+  }
+
+  // Phase 1: every shard replays the full prefix over its label slice.
+  run.trackers.resize(num_shards);
+  run.seconds.assign(num_shards, 0.0);
+  std::vector<Status> statuses(num_shards, Status::Ok());
+  const auto& log = tin_->interactions();
+  const size_t hint =
+      std::min(prefix, (size_t{8} << 20) / sizeof(ProvPair)) / num_shards +
+      16;
+  RunSelfScheduled(num_shards, threads, [&](size_t s) {
+    Stopwatch watch;
+    std::unique_ptr<SparseProportionalBase> tracker = spec_.make_shard();
+    if (tracker == nullptr) {
+      statuses[s] = Status::Internal("shard tracker factory returned null");
+      return;
+    }
+    tracker->RestrictLabels(run.masks[s].data(), label_count);
+    tracker->ReserveEntries(hint);
+    for (size_t i = 0; i < prefix; ++i) {
+      const Status status = tracker->Process(log[i]);
+      if (!status.ok()) {
+        statuses[s] = Status(status.code(),
+                             "shard " + std::to_string(s) +
+                                 " replay at interaction " +
+                                 std::to_string(i) + ": " + status.message());
+        return;
+      }
+    }
+    run.trackers[s] = std::move(tracker);
+    run.seconds[s] = watch.ElapsedSeconds();
+  });
+  for (const Status& status : statuses) {
+    if (!status.ok()) return status;
+  }
+
+  // Replicated global state must agree bit-for-bit across shards, or
+  // the spec lied about being label-linear; total_generated is the
+  // cheapest complete witness (it accumulates every deficit in order).
+  for (size_t s = 1; s < num_shards; ++s) {
+    if (run.trackers[s]->total_generated() !=
+        run.trackers[0]->total_generated()) {
+      return Status::Internal(
+          "shard " + std::to_string(s) +
+          " diverged from shard 0 — tracker is not label-decomposable");
+    }
+  }
+  return run;
+}
+
+StatusOr<ShardedReplayResult> ShardedReplayEngine::ReplayPrefix(
+    size_t prefix) const {
+  prefix = std::min(prefix, tin_->num_interactions());
+  size_t shards = 0;
+  if (!UsesShards(&shards)) {
+    return SequentialReplay(prefix);
+  }
+  Stopwatch watch;
+  auto executed = RunShards(prefix, shards);
+  if (!executed.ok()) return executed.status();
+  const double replay_seconds = watch.ElapsedSeconds();
+  ShardRun& run = *executed;
+  const auto& trackers = run.trackers;
+  const size_t threads = ResolvedThreads();
+
+  const size_t n = tin_->num_vertices();
+  ShardedReplayResult result;
+  result.num_vertices = n;
+  result.interactions_replayed = prefix;
+  result.replay_seconds = replay_seconds;
+  result.used_parallel_path = true;
+  result.num_shards = shards;
+  result.num_threads = std::min(threads, shards);
+  result.totals.resize(n);
+  result.entries.resize(n);
+  result.total_generated = trackers[0]->total_generated();
+  for (size_t s = 0; s < shards; ++s) {
+    result.num_entries += trackers[s]->num_entries();
+    ShardInfo info;
+    info.labels = run.labels_per_shard[s];
+    info.entries = trackers[s]->num_entries();
+    info.seconds = run.seconds[s];
+    info.pool_bytes = trackers[s]->PoolBytesReserved();
+    result.shards.push_back(info);
+  }
+
+  // Phase 2 (exchange): interleave the shards' disjoint label slices
+  // back into full per-vertex lists. Pure data movement ordered by
+  // label id — deterministic and free of floating-point arithmetic —
+  // parallelized over vertex blocks on the same worker pool.
+  constexpr size_t kBlock = 1024;
+  const size_t num_blocks = (n + kBlock - 1) / kBlock;
+  RunSelfScheduled(num_blocks, threads, [&](size_t block) {
+    std::vector<size_t> cursor(shards);
+    const VertexId begin = static_cast<VertexId>(block * kBlock);
+    const VertexId end =
+        static_cast<VertexId>(std::min(n, (block + 1) * kBlock));
+    for (VertexId v = begin; v < end; ++v) {
+      result.totals[v] = trackers[0]->BufferTotal(v);
+      InterleaveVertexSlices(trackers, v, &result.entries[v], &cursor);
+    }
+  });
+  return result;
+}
+
+StatusOr<Buffer> ShardedReplayEngine::QueryPrefix(VertexId v,
+                                                  size_t prefix) const {
+  if (v >= tin_->num_vertices()) {
+    return Status::InvalidArgument("query vertex " + std::to_string(v) +
+                                   " out of range");
+  }
+  prefix = std::min(prefix, tin_->num_interactions());
+  size_t shards = 0;
+  if (!UsesShards(&shards)) {
+    auto replayed = SequentialTracker(prefix);
+    if (!replayed.ok()) return replayed.status();
+    return (*replayed)->Provenance(v);
+  }
+  auto executed = RunShards(prefix, shards);
+  if (!executed.ok()) return executed.status();
+
+  // Single-vertex exchange: the same interleave as ReplayPrefix's
+  // phase 2, restricted to v — per-query cost stays O(|list(v)|).
+  Buffer buffer;
+  buffer.total = executed->trackers[0]->BufferTotal(v);
+  std::vector<size_t> cursor(shards);
+  InterleaveVertexSlices(executed->trackers, v, &buffer.entries, &cursor);
+  return buffer;
+}
+
+}  // namespace tinprov

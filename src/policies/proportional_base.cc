@@ -3,8 +3,13 @@
 #include <algorithm>
 
 #include "core/buffer_io.h"
+#include "util/simd.h"
 
 namespace tinprov {
+
+static_assert(sizeof(ProvPair) == 16 && alignof(ProvPair) == 8,
+              "the sparse merge kernels assume the 16-byte "
+              "{origin, pad, quantity} ProvPair layout");
 
 void MergeScaled(SparseVector* dst, const SparseVector& src,
                  double fraction) {
@@ -57,6 +62,14 @@ void MergeScaled(SparseVector* dst, const SparseVector& src,
   // Remaining dst entries (i of them) are already in their final slots.
 }
 
+void MergeScaledInto(SparseVector* out, const SparseVector& a,
+                     const SparseVector& b, double fraction) {
+  out->ResizeUninitialized(a.size() + b.size());
+  const size_t merged = simd::GallopMergeScaled(
+      out->data(), a.data(), a.size(), b.data(), b.size(), fraction);
+  out->ResizeUninitialized(merged);
+}
+
 Status SparseProportionalBase::Process(const Interaction& interaction) {
   auto deficit = CheckAndComputeDeficit(interaction, totals_);
   if (!deficit.ok()) return deficit.status();
@@ -64,18 +77,26 @@ Status SparseProportionalBase::Process(const Interaction& interaction) {
   if (*deficit > 0.0) {
     OnGenerated(interaction.src, *deficit);
     if (AttributeGeneration(interaction.src)) {
-      // Insert the newly generated share at its sorted position.
       const ProvPair entry{GenerationLabel(interaction.src), *deficit};
-      auto it = std::lower_bound(src_buffer.begin(), src_buffer.end(),
-                                 entry.origin,
-                                 [](const ProvPair& p, VertexId origin) {
-                                   return p.origin < origin;
-                                 });
-      if (it != src_buffer.end() && it->origin == entry.origin) {
-        it->quantity += entry.quantity;
-      } else {
-        src_buffer.insert(it, entry);
-        ++num_entries_;
+      // The label filter (sharded replay) diverts non-owned labels into
+      // alpha *after* the subclass hooks, so per-shard hook state (e.g.
+      // Selective's tracked_generated) still evolves exactly as the
+      // sequential tracker's does.
+      if (label_mask_ == nullptr || (entry.origin < label_mask_size_ &&
+                                     label_mask_[entry.origin] != 0)) {
+        // Insert the newly generated share at its sorted position.
+        auto it = std::lower_bound(src_buffer.begin(), src_buffer.end(),
+                                   entry.origin,
+                                   [](const ProvPair& p, VertexId origin) {
+                                     return p.origin < origin;
+                                   });
+        if (it != src_buffer.end() && it->origin == entry.origin) {
+          it->quantity += entry.quantity;
+        } else {
+          if (src_buffer.empty()) ++num_nonempty_;
+          src_buffer.insert(it, entry);
+          ++num_entries_;
+        }
       }
     }
     totals_[interaction.src] += *deficit;
@@ -94,6 +115,7 @@ Status SparseProportionalBase::Process(const Interaction& interaction) {
       std::min(1.0, interaction.quantity / totals_[interaction.src]);
   SparseVector& dst_buffer = buffers_[interaction.dst];
   const size_t dst_before = dst_buffer.size();
+  const bool dst_was_empty = dst_buffer.empty();
   if (fraction >= 1.0) {
     // Whole-buffer move: into an empty destination it is a pointer swap;
     // otherwise merge at full strength, then drop the source. Either way
@@ -101,16 +123,21 @@ Status SparseProportionalBase::Process(const Interaction& interaction) {
     // source and re-credited by the final destination delta. Any alpha
     // residue moves implicitly with the balance.
     num_entries_ -= src_buffer.size();
+    if (!src_buffer.empty()) --num_nonempty_;
     if (dst_buffer.empty()) {
-      std::swap(dst_buffer, src_buffer);
-    } else {
-      MergeScaled(&dst_buffer, src_buffer, 1.0);
+      dst_buffer.swap(src_buffer);
+    } else if (!src_buffer.empty()) {
+      MergeScaledInto(&scratch_, dst_buffer, src_buffer, 1.0);
+      dst_buffer.swap(scratch_);
       src_buffer.clear();
     }
-  } else {
-    MergeScaled(&dst_buffer, src_buffer, fraction);
-    for (ProvPair& entry : src_buffer) entry.quantity *= 1.0 - fraction;
+  } else if (!src_buffer.empty()) {
+    MergeScaledInto(&scratch_, dst_buffer, src_buffer, fraction);
+    dst_buffer.swap(scratch_);
+    simd::ScalePairsInPlace(src_buffer.data(), 1.0 - fraction,
+                            src_buffer.size());
   }
+  if (dst_was_empty && !dst_buffer.empty()) ++num_nonempty_;
   num_entries_ += dst_buffer.size() - dst_before;
   totals_[interaction.src] -= interaction.quantity;
   totals_[interaction.dst] += interaction.quantity;
@@ -121,13 +148,27 @@ Status SparseProportionalBase::Process(const Interaction& interaction) {
 Buffer SparseProportionalBase::Provenance(VertexId v) const {
   Buffer result;
   result.total = totals_[v];
-  result.entries = buffers_[v];
+  const SparseVector& buffer = buffers_[v];
+  result.entries.assign(buffer.begin(), buffer.end());
   return result;
 }
 
 size_t SparseProportionalBase::MemoryUsage() const {
   return num_entries_ * sizeof(ProvPair) +
          totals_.capacity() * sizeof(double) + AuxiliaryBytes();
+}
+
+void SparseProportionalBase::ReserveEntries(size_t count) {
+  pool_.Reserve(count * sizeof(ProvPair));
+}
+
+void SparseProportionalBase::ReserveHint(const Tin& tin) {
+  // Every interaction adds at most one brand-new tuple (merges only
+  // copy existing origins between lists), so standing tuples are
+  // bounded by the stream length; a soft cap keeps a mis-scaled hint
+  // from pinning memory, since the arena grows on demand anyway.
+  constexpr size_t kMaxHintEntries = (size_t{8} << 20) / sizeof(ProvPair);
+  ReserveEntries(std::min(tin.num_interactions(), kMaxHintEntries));
 }
 
 void SparseProportionalBase::SaveStateBody(ByteWriter* writer) const {
@@ -142,10 +183,12 @@ Status SparseProportionalBase::RestoreStateBody(ByteReader* reader) {
   Status status = reader->ReadSpan(totals_.data(), totals_.size());
   if (!status.ok()) return status;
   num_entries_ = 0;
+  num_nonempty_ = 0;
   for (SparseVector& buffer : buffers_) {
     status = ReadEntryVector(reader, &buffer);
     if (!status.ok()) return status;
     num_entries_ += buffer.size();
+    if (!buffer.empty()) ++num_nonempty_;
   }
   return RestoreAuxState(reader);
 }
@@ -155,6 +198,7 @@ void SparseProportionalBase::ClearAllEntries() {
   // length after a reset, and logical memory is tracked by num_entries_.
   for (SparseVector& buffer : buffers_) buffer.clear();
   num_entries_ = 0;
+  num_nonempty_ = 0;
 }
 
 }  // namespace tinprov

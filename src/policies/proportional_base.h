@@ -2,11 +2,17 @@
 // policy (Section 4.3) and the scalable/ layer (Sections 5.2-5.3).
 //
 // SparseProportionalBase implements the full Process() loop — deficit
-// generation, sorted insert, and the MergeScaled transfer — with three
+// generation, sorted insert, and the merge transfer — with three
 // customisation points: how generated quantity is labelled (grouped
 // tracking), whether it is attributed at all (selective tracking), and
 // a post-interaction hook (window resets, budget shrinking). With the
 // default hooks it is exactly the paper's proportional policy.
+//
+// Performance architecture: every tracker owns a NodePool (util/pool.h)
+// that backs all of its provenance lists and a reusable merge scratch,
+// so the per-interaction transfer is a single gallop-merge pass
+// (util/simd.h) with no allocator traffic after warm-up. ReserveHint()
+// pre-sizes the pool from dataset stats.
 //
 // Subclasses may under-attribute: a vertex's entry sum is <= its
 // buffered total, and the difference is the unattributed residue the
@@ -16,20 +22,31 @@
 #ifndef TINPROV_POLICIES_PROPORTIONAL_BASE_H_
 #define TINPROV_POLICIES_PROPORTIONAL_BASE_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "policies/tracker.h"
+#include "util/pool.h"
 
 namespace tinprov {
 
-/// Origin-sorted provenance list.
-using SparseVector = std::vector<ProvPair>;
+/// Origin-sorted provenance list, storage-backed by its tracker's pool
+/// (heap-backed when default-constructed, e.g. in tests).
+using SparseVector = PooledVec<ProvPair>;
 
 /// dst += fraction * src, merging by origin; both vectors stay sorted.
-/// In-place, allocation-free when dst has spare capacity for the new
-/// origins. This is the hot kernel whose cost grows with list length
-/// (the superlinear curve of paper Figure 6).
+/// Reference two-pass in-place implementation, kept as the semantic
+/// spec for the merge (tests compare the gallop kernel against it) and
+/// as the pre-PR baseline that bench_micro's BM_SparseMergeReference
+/// measures. The replay loop itself uses MergeScaledInto.
 void MergeScaled(SparseVector* dst, const SparseVector& src, double fraction);
+
+/// out = a + fraction * b (merged by origin, sorted). `out` is resized
+/// to the merged length; its previous contents are discarded. out must
+/// be distinct from both inputs. This is the production merge: one
+/// forward gallop-merge pass into pooled scratch storage.
+void MergeScaledInto(SparseVector* out, const SparseVector& a,
+                     const SparseVector& b, double fraction);
 
 class SparseProportionalBase : public Tracker {
  public:
@@ -37,20 +54,50 @@ class SparseProportionalBase : public Tracker {
   double BufferTotal(VertexId v) const override { return totals_[v]; }
   Buffer Provenance(VertexId v) const override;
   size_t MemoryUsage() const override;
+  void ReserveHint(const Tin& tin) override;
 
   /// Provenance tuples currently stored across all vertices.
   size_t num_entries() const { return num_entries_; }
 
+  /// Vertices whose provenance list is non-empty, maintained
+  /// incrementally so Figure 6's average-list-length probe is O(1).
+  size_t num_nonempty() const { return num_nonempty_; }
+
+  /// Restricts attribution to generation labels with mask[label] != 0;
+  /// everything else joins the alpha residue exactly as if
+  /// AttributeGeneration had declined it. `mask` (of `size` labels) is
+  /// borrowed and must outlive the tracker; nullptr lifts the
+  /// restriction. This is the parallel sharded-replay hook
+  /// (src/parallel/sharded_replay.h): the pro-rata transfer is linear
+  /// per label, so a shard that owns a label subset replays the full
+  /// log and reproduces exactly that subset of every list, bit-for-bit.
+  void RestrictLabels(const uint8_t* mask, size_t size) {
+    label_mask_ = mask;
+    label_mask_size_ = size;
+  }
+
+  /// Read-only view of v's provenance list — the deterministic exchange
+  /// phase of sharded replay interleaves these across shards.
+  const SparseVector& EntriesOf(VertexId v) const { return buffers_[v]; }
+
+  /// Pre-sizes the pool for about `count` standing tuples.
+  void ReserveEntries(size_t count);
+
+  /// Bytes the backing pool obtained from the system allocator —
+  /// allocator-level footprint, distinct from the logical MemoryUsage().
+  size_t PoolBytesReserved() const { return pool_.bytes_reserved(); }
+
  protected:
   explicit SparseProportionalBase(size_t num_vertices)
       : Tracker(num_vertices),
-        buffers_(num_vertices),
-        totals_(num_vertices, 0.0) {}
+        buffers_(num_vertices, SparseVector(&pool_)),
+        totals_(num_vertices, 0.0),
+        scratch_(&pool_) {}
 
   /// Label recorded for quantity generated at `src`. The default keeps
   /// the vertex itself; GroupedTracker maps it to a group id. Labels
-  /// form their own id space — lists stay sorted by label, and
-  /// MergeScaled merges by label exactly as it merges by origin.
+  /// form their own id space — lists stay sorted by label, and the
+  /// merge merges by label exactly as it merges by origin.
   virtual VertexId GenerationLabel(VertexId src) const { return src; }
 
   /// Whether generation at `src` is attributed at all. When false the
@@ -84,9 +131,19 @@ class SparseProportionalBase : public Tracker {
     return Status::Ok();
   }
 
+  // Declaration order is a destruction contract: buffers_ and scratch_
+  // return their storage to pool_, so the pool must be destroyed last
+  // (i.e. declared first).
+  NodePool pool_;
   std::vector<SparseVector> buffers_;
   std::vector<double> totals_;
+  SparseVector scratch_;
   size_t num_entries_ = 0;
+  size_t num_nonempty_ = 0;
+
+ private:
+  const uint8_t* label_mask_ = nullptr;
+  size_t label_mask_size_ = 0;
 };
 
 }  // namespace tinprov

@@ -3,17 +3,13 @@
 namespace tinprov {
 
 double ProportionalSparseTracker::AverageListLength() const {
-  size_t nonempty = 0;
-  size_t entries = 0;
-  for (const SparseVector& buffer : buffers_) {
-    if (!buffer.empty()) {
-      ++nonempty;
-      entries += buffer.size();
-    }
-  }
-  return nonempty == 0
-             ? 0.0
-             : static_cast<double>(entries) / static_cast<double>(nonempty);
+  // Figure 6 samples this inside the replay loop, so it must not scan
+  // the |V| buffers per probe; both counts are maintained incrementally
+  // by the base class.
+  const size_t nonempty = num_nonempty();
+  return nonempty == 0 ? 0.0
+                       : static_cast<double>(num_entries()) /
+                             static_cast<double>(nonempty);
 }
 
 }  // namespace tinprov

@@ -20,7 +20,8 @@ class ProportionalSparseTracker : public SparseProportionalBase {
       : SparseProportionalBase(num_vertices) {}
 
   /// Mean provenance-list length over vertices with a non-empty buffer
-  /// (the quantity paper Figure 6 tracks).
+  /// (the quantity paper Figure 6 tracks). O(1): computed from counts
+  /// the replay loop maintains, so harnesses may probe it per sample.
   double AverageListLength() const;
 };
 

@@ -70,6 +70,7 @@ Status Tracker::RestoreState(const uint8_t* data, size_t size) {
 }
 
 Status Tracker::ProcessAll(const Tin& tin) {
+  ReserveHint(tin);
   for (const Interaction& interaction : tin.interactions()) {
     const Status status = Process(interaction);
     if (!status.ok()) return status;

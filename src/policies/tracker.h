@@ -57,8 +57,15 @@ class Tracker {
   /// (ProcessAll guarantees this; manual callers are on their own).
   virtual Status Process(const Interaction& interaction) = 0;
 
-  /// Replays the whole log in time order.
+  /// Replays the whole log in time order. Calls ReserveHint(tin) first
+  /// so standing allocations are sized once instead of grown in-loop.
   Status ProcessAll(const Tin& tin);
+
+  /// Capacity hint: the tracker is about to replay (a prefix of) `tin`
+  /// and may pre-size its allocations from the dataset's shape. Purely
+  /// an optimization — never affects results — and safe to skip or to
+  /// call more than once. The default does nothing.
+  virtual void ReserveHint(const Tin& tin) { (void)tin; }
 
   /// Buffered quantity at `v`.
   virtual double BufferTotal(VertexId v) const = 0;

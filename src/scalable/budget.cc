@@ -45,6 +45,8 @@ void BudgetTracker::MaybeShrink(VertexId v) {
                      return a.quantity > b.quantity;
                    });
   num_entries_ -= buffer.size() - keep_;
+  // keep_ >= 1, so a shrink never empties a list and the base class's
+  // num_nonempty_ count stays valid without an adjustment here.
   buffer.resize(keep_);
   std::sort(buffer.begin(), buffer.end(),
             [](const ProvPair& a, const ProvPair& b) {

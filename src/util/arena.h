@@ -1,0 +1,90 @@
+// Bump-pointer arena for the sparse pro-rata hot path.
+//
+// The per-interaction merge loop allocates and frees provenance-list
+// storage at a rate that makes malloc the dominant non-arithmetic cost
+// (see bench_micro's BM_SparseMerge trajectory). An Arena trades
+// individual frees for O(1) pointer-bump allocation out of large
+// chunks; the free-list NodePool in util/pool.h recycles list storage
+// on top of it. One arena is owned per tracker (and therefore per
+// replay shard), so no locking is needed anywhere in this file.
+#ifndef TINPROV_UTIL_ARENA_H_
+#define TINPROV_UTIL_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace tinprov {
+
+class Arena {
+ public:
+  /// Every block returned by Allocate() is aligned this much — enough
+  /// for the 16-byte provenance tuples and the AVX2 kernels' unaligned
+  /// loads to stay within one cache pair.
+  static constexpr size_t kAlignment = 16;
+
+  Arena() = default;
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Returns `bytes` of kAlignment-aligned storage that lives until the
+  /// arena is destroyed. bytes == 0 yields a unique valid pointer.
+  void* Allocate(size_t bytes) {
+    bytes = RoundUp(bytes);
+    if (bytes > free_) NewChunk(bytes);
+    uint8_t* block = ptr_;
+    ptr_ += bytes;
+    free_ -= bytes;
+    used_ += bytes;
+    return block;
+  }
+
+  /// Capacity hint: makes sure at least `bytes` are available without a
+  /// further chunk allocation. Call once up front (e.g. from dataset
+  /// stats) so the replay loop itself never asks the system allocator.
+  void Reserve(size_t bytes) {
+    bytes = RoundUp(bytes);
+    if (bytes > free_) NewChunk(bytes);
+  }
+
+  /// Bytes handed out so far (recycled blocks are counted once by the
+  /// arena; the pool layered on top re-counts reuse).
+  size_t bytes_used() const { return used_; }
+
+  /// Bytes obtained from the system allocator across all chunks.
+  size_t bytes_reserved() const { return reserved_; }
+
+ private:
+  // Chunks double up to a cap so a mis-sized Reserve() hint cannot make
+  // growth quadratic, while tiny trackers stay tiny.
+  static constexpr size_t kMinChunkBytes = size_t{1} << 16;   // 64 KiB
+  static constexpr size_t kMaxChunkBytes = size_t{8} << 20;   // 8 MiB
+
+  static size_t RoundUp(size_t bytes) {
+    return (bytes + (kAlignment - 1)) & ~(kAlignment - 1);
+  }
+
+  void NewChunk(size_t min_bytes) {
+    size_t chunk_bytes = chunks_.empty() ? kMinChunkBytes : next_chunk_bytes_;
+    if (chunk_bytes < min_bytes) chunk_bytes = RoundUp(min_bytes);
+    chunks_.emplace_back(new uint8_t[chunk_bytes]);
+    ptr_ = chunks_.back().get();
+    // operator new[] returns at least alignof(max_align_t) >= 16 on the
+    // supported platforms; RoundUp keeps every subsequent block aligned.
+    free_ = chunk_bytes;
+    reserved_ += chunk_bytes;
+    if (next_chunk_bytes_ < kMaxChunkBytes) next_chunk_bytes_ *= 2;
+  }
+
+  std::vector<std::unique_ptr<uint8_t[]>> chunks_;
+  uint8_t* ptr_ = nullptr;
+  size_t free_ = 0;
+  size_t used_ = 0;
+  size_t reserved_ = 0;
+  size_t next_chunk_bytes_ = kMinChunkBytes;
+};
+
+}  // namespace tinprov
+
+#endif  // TINPROV_UTIL_ARENA_H_

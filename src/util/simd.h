@@ -1,14 +1,26 @@
-// Dense-vector kernels for the proportional tracker's |V|-length buffers.
+// Dense-vector kernels for the proportional tracker's |V|-length
+// buffers, plus the sparse gallop-merge kernel behind the pro-rata
+// transfer (the repo's hottest loop).
 //
 // The scalar loops below are written so the compiler can auto-vectorize
-// them at -O2/-O3; an explicit AVX2 path is provided when the translation
-// unit is compiled with -mavx2 (the build does not force it, keeping the
-// binaries portable). All functions tolerate n == 0 and require dst/src
-// to be non-overlapping unless noted.
+// them at -O2/-O3; explicit AVX2 paths are provided when the translation
+// unit is compiled with AVX2 enabled (configure with -DTINPROV_NATIVE=ON
+// to opt in; the default build stays portable). All functions tolerate
+// n == 0 and require dst/src to be non-overlapping unless noted.
+//
+// Bit-exactness contract: parallel sharded replay (src/parallel/) must
+// reproduce sequential results bit-for-bit, and a shard sees a subset
+// of each list. Every per-element value here is therefore produced by
+// an arithmetic expression that does not depend on its neighbours —
+// single multiplies in the vector lanes, and the one fused-looking
+// accumulate (a + b * f) kept in exactly one scalar expression — so the
+// scalar/vector split can differ between runs without changing results.
 #ifndef TINPROV_UTIL_SIMD_H_
 #define TINPROV_UTIL_SIMD_H_
 
 #include <cstddef>
+#include <cstdint>
+#include <cstring>
 
 #if defined(__AVX2__)
 #include <immintrin.h>
@@ -80,6 +92,154 @@ inline double Sum(const double* src, size_t n) {
 #endif
   for (; i < n; ++i) total += src[i];
   return total;
+}
+
+// ---------------------------------------------------------------------
+// Sparse (origin, quantity)-pair kernels. `Pair` is any standard-layout
+// struct with a 32-bit integral `origin` followed by a double `quantity`
+// (tinprov's ProvPair; duck-typed here so util/ stays below core/). The
+// AVX2 lanes additionally require the exact 16-byte {origin, pad,
+// quantity} layout and engage only when it holds.
+
+namespace internal {
+
+template <typename Pair>
+inline constexpr bool kHasSimdPairLayout =
+    sizeof(Pair) == 16 && alignof(Pair) == 8;
+
+}  // namespace internal
+
+/// out[i] = {in[i].origin, in[i].quantity * factor} for i in [0, n).
+/// Origins (and their padding bytes, on the AVX2 path) are copied
+/// bit-exactly; out and in must not overlap.
+template <typename Pair>
+inline void ScaleCopyPairs(Pair* out, const Pair* in, double factor,
+                           size_t n) {
+  size_t i = 0;
+#if defined(__AVX2__)
+  if constexpr (internal::kHasSimdPairLayout<Pair>) {
+    // Memory as doubles: [hdr0, q0, hdr1, q1]. Multiply everything,
+    // then blend the scaled quantity lanes (1, 3) over the original
+    // header lanes (0, 2) so origin bits are never touched by
+    // arithmetic. Multiplying the header lane interpreted as a double
+    // is dead computation whose result is discarded by the blend.
+    const __m256d f = _mm256_set1_pd(factor);
+    for (; i + 2 <= n; i += 2) {
+      const __m256d v =
+          _mm256_loadu_pd(reinterpret_cast<const double*>(in + i));
+      const __m256d scaled = _mm256_mul_pd(v, f);
+      _mm256_storeu_pd(reinterpret_cast<double*>(out + i),
+                       _mm256_blend_pd(v, scaled, 0b1010));
+    }
+  }
+#endif
+  for (; i < n; ++i) {
+    out[i].origin = in[i].origin;
+    out[i].quantity = in[i].quantity * factor;
+  }
+}
+
+/// p[i].quantity *= factor in place — the "source keeps (1 - f)" pass
+/// of a pro-rata transfer.
+template <typename Pair>
+inline void ScalePairsInPlace(Pair* p, double factor, size_t n) {
+  size_t i = 0;
+#if defined(__AVX2__)
+  if constexpr (internal::kHasSimdPairLayout<Pair>) {
+    const __m256d f = _mm256_set1_pd(factor);
+    for (; i + 2 <= n; i += 2) {
+      double* mem = reinterpret_cast<double*>(p + i);
+      const __m256d v = _mm256_loadu_pd(mem);
+      _mm256_storeu_pd(mem, _mm256_blend_pd(v, _mm256_mul_pd(v, f), 0b1010));
+    }
+  }
+#endif
+  for (; i < n; ++i) p[i].quantity *= factor;
+}
+
+namespace internal {
+
+/// First index in [1, n] at which p[index].origin >= key, found by
+/// exponential probing then binary search. Preconditions: n >= 1 and
+/// p[0].origin < key, so the result is the length of the maximal run of
+/// entries strictly below `key`. Cost is O(log run) — cheap for the
+/// interleaved case (run == 1 answers on the first probe) and the whole
+/// point for skewed merges, where runs are long.
+template <typename Pair>
+inline size_t GallopRun(const Pair* p, size_t n, uint32_t key) {
+  size_t hi = 1;
+  while (hi < n && p[hi].origin < key) hi <<= 1;
+  size_t lo = hi >> 1;  // p[lo].origin < key
+  if (hi > n) hi = n;
+  // Invariant: p[lo].origin < key, and hi == n or p[hi].origin >= key.
+  while (lo + 1 < hi) {
+    const size_t mid = lo + (hi - lo) / 2;
+    if (p[mid].origin < key) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo + 1;
+}
+
+}  // namespace internal
+
+/// Two-pointer gallop merge of origin-sorted pair lists:
+///   out = a  +  factor * b      (merging by origin)
+/// writing the merged, origin-sorted list to `out` (capacity at least
+/// na + nb, overlapping neither input) and returning its length.
+/// Disjoint runs are detected by galloping and moved with the SIMD
+/// copy kernels; equal origins accumulate in a single scalar
+/// expression, a[i].quantity + b[j].quantity * factor — the exact
+/// arithmetic the paper's Section 4.3 transfer specifies.
+template <typename Pair>
+inline size_t GallopMergeScaled(Pair* out, const Pair* a, size_t na,
+                                const Pair* b, size_t nb, double factor) {
+  size_t i = 0;
+  size_t j = 0;
+  size_t k = 0;
+  while (i < na && j < nb) {
+    const uint32_t ka = a[i].origin;
+    const uint32_t kb = b[j].origin;
+    if (ka == kb) {
+      out[k].origin = ka;
+      out[k].quantity = a[i].quantity + b[j].quantity * factor;
+      ++i;
+      ++j;
+      ++k;
+    } else if (ka < kb) {
+      // Inline the first element — interleaved lists mostly produce
+      // runs of one — and gallop only once a run proves longer.
+      out[k++] = a[i++];
+      if (i < na && a[i].origin < kb) {
+        const size_t run = internal::GallopRun(a + i, na - i, kb);
+        std::memcpy(static_cast<void*>(out + k), a + i, run * sizeof(Pair));
+        i += run;
+        k += run;
+      }
+    } else {
+      out[k].origin = b[j].origin;
+      out[k].quantity = b[j].quantity * factor;
+      ++k;
+      ++j;
+      if (j < nb && b[j].origin < ka) {
+        const size_t run = internal::GallopRun(b + j, nb - j, ka);
+        ScaleCopyPairs(out + k, b + j, factor, run);
+        j += run;
+        k += run;
+      }
+    }
+  }
+  if (i < na) {
+    std::memcpy(static_cast<void*>(out + k), a + i, (na - i) * sizeof(Pair));
+    k += na - i;
+  }
+  if (j < nb) {
+    ScaleCopyPairs(out + k, b + j, factor, nb - j);
+    k += nb - j;
+  }
+  return k;
 }
 
 }  // namespace tinprov::simd

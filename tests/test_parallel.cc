@@ -1,0 +1,361 @@
+// Parallel-replay semantics: sharded replay must be indistinguishable —
+// bit for bit — from sequential replay, for every factory-constructible
+// tracker, every shard strategy, and the degenerate shapes (one thread,
+// more threads than shards, more shards than labels, empty datasets).
+// The equality harness mirrors tests/test_lazy.cc: no tolerances
+// anywhere, the parallel engine promises the identical result.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analytics/experiment.h"
+#include "datagen/generator.h"
+#include "lazy/replay.h"
+#include "parallel/sharded_replay.h"
+#include "policies/tracker.h"
+
+namespace tinprov {
+namespace {
+
+// The same hand-built TIN as test_policies.cc: deficit generation,
+// partial consumption, re-sends, and a self-loop over 6 interactions.
+Tin HandTin() {
+  std::vector<Interaction> log = {
+      {1, 0, 1.0, 5.0},  // 1 generates 5, sends to 0
+      {2, 0, 2.0, 3.0},  // 2 generates 3, sends to 0
+      {0, 3, 3.0, 4.0},  // 0 forwards a mix
+      {3, 3, 4.0, 2.0},  // self-loop at 3
+      {3, 4, 5.0, 6.0},  // exceeds 3's buffer: deficit generated at 3
+      {4, 0, 6.0, 1.0},  // flows back
+  };
+  return Tin(5, std::move(log));
+}
+
+Tin GeneratedTin() {
+  GeneratorConfig config;
+  config.num_vertices = 60;
+  config.num_interactions = 3000;
+  config.src_skew = 1.1;
+  config.dst_skew = 0.9;
+  config.quantity_model = QuantityModel::kLogNormal;
+  config.quantity_param1 = 1.0;
+  config.quantity_param2 = 1.0;
+  config.self_loop_fraction = 0.05;
+  config.seed = 41;
+  auto tin = Generate(config);
+  EXPECT_TRUE(tin.ok());
+  return std::move(tin).value();
+}
+
+// Mid-range scalable configuration; small enough that Budget shrinks
+// and Windowed resets actually fire while shards replay.
+ScalableParams TestParams() {
+  ScalableParams params;
+  params.window = 500;
+  params.num_tracked = 10;
+  params.num_groups = 7;
+  params.budget.capacity = 8;
+  params.budget.keep_fraction = 0.5;
+  return params;
+}
+
+void ExpectSameBuffer(const Buffer& expected, const Buffer& actual,
+                      const std::string& context) {
+  EXPECT_EQ(expected.total, actual.total) << context;
+  ASSERT_EQ(expected.entries.size(), actual.entries.size()) << context;
+  for (size_t i = 0; i < expected.entries.size(); ++i) {
+    EXPECT_TRUE(expected.entries[i] == actual.entries[i])
+        << context << " entry " << i << ": (" << expected.entries[i].origin
+        << ", " << expected.entries[i].quantity << ") vs ("
+        << actual.entries[i].origin << ", " << actual.entries[i].quantity
+        << ")";
+  }
+}
+
+// Replays `tin` sequentially through the named tracker and checks the
+// sharded result against it, vertex by vertex.
+void ExpectBitIdentical(const Tin& tin, const std::string& name,
+                        const ParallelParams& parallel,
+                        const std::string& context) {
+  const ScalableParams params = TestParams();
+  auto eager = CreateTrackerByName(name, tin, params);
+  ASSERT_TRUE(eager.ok()) << context;
+  ASSERT_TRUE((*eager)->ProcessAll(tin).ok()) << context;
+
+  auto spec = NamedShardedSpec(name, tin, params);
+  ASSERT_TRUE(spec.ok()) << context;
+  ShardedReplayEngine engine(tin, *std::move(spec), parallel);
+  auto result = engine.Replay();
+  ASSERT_TRUE(result.ok()) << context << ": " << result.status().ToString();
+
+  EXPECT_EQ((*eager)->total_generated(), result->total_generated) << context;
+  EXPECT_EQ(result->interactions_replayed, tin.num_interactions()) << context;
+  for (VertexId v = 0; v < tin.num_vertices(); ++v) {
+    ExpectSameBuffer((*eager)->Provenance(v), result->Provenance(v),
+                     context + " vertex " + std::to_string(v));
+    EXPECT_EQ((*eager)->BufferTotal(v), result->BufferTotal(v)) << context;
+  }
+}
+
+bool NotAlnum(char c) { return !std::isalnum(static_cast<unsigned char>(c)); }
+
+std::string SanitizeName(const ::testing::TestParamInfo<std::string>& info) {
+  std::string name = info.param;
+  name.erase(std::remove_if(name.begin(), name.end(), NotAlnum), name.end());
+  return name;
+}
+
+// ---------------------------------------------------------------------
+// (a) Sharded replay is bit-identical to sequential replay for every
+// factory name, across shard strategies and thread/shard shapes.
+
+class ShardedReplayTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ShardedReplayTest, FourShardsMatchSequentialBitExactly) {
+  const Tin tin = GeneratedTin();
+  for (const ShardStrategy strategy :
+       {ShardStrategy::kRoundRobin, ShardStrategy::kHash,
+        ShardStrategy::kContiguous, ShardStrategy::kActivity}) {
+    ParallelParams parallel;
+    parallel.num_threads = 4;
+    parallel.num_shards = 4;
+    parallel.strategy = strategy;
+    ExpectBitIdentical(tin, GetParam(), parallel,
+                       GetParam() + "/strategy" +
+                           std::to_string(static_cast<int>(strategy)));
+  }
+}
+
+TEST_P(ShardedReplayTest, OneThreadManyShardsMatches) {
+  // One worker draining five shards exercises the sharding and exchange
+  // logic with zero scheduling nondeterminism.
+  ParallelParams parallel;
+  parallel.num_threads = 1;
+  parallel.num_shards = 5;
+  ExpectBitIdentical(GeneratedTin(), GetParam(), parallel,
+                     GetParam() + "/1-thread");
+}
+
+TEST_P(ShardedReplayTest, MoreThreadsThanShardsMatches) {
+  ParallelParams parallel;
+  parallel.num_threads = 8;
+  parallel.num_shards = 2;
+  ExpectBitIdentical(GeneratedTin(), GetParam(), parallel,
+                     GetParam() + "/8-threads-2-shards");
+}
+
+TEST_P(ShardedReplayTest, EmptyDatasetYieldsEmptyState) {
+  const Tin tin(5, {});
+  ParallelParams parallel;
+  parallel.num_threads = 4;
+  auto spec = NamedShardedSpec(GetParam(), tin, TestParams());
+  ASSERT_TRUE(spec.ok());
+  ShardedReplayEngine engine(tin, *std::move(spec), parallel);
+  auto result = engine.Replay();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->total_generated, 0.0);
+  EXPECT_EQ(result->num_entries, 0u);
+  for (VertexId v = 0; v < 5; ++v) {
+    EXPECT_EQ(result->BufferTotal(v), 0.0);
+    EXPECT_TRUE(result->Provenance(v).entries.empty());
+  }
+}
+
+TEST_P(ShardedReplayTest, PrefixReplayMatchesSequentialPrefix) {
+  const Tin tin = GeneratedTin();
+  const ScalableParams params = TestParams();
+  const size_t prefix = tin.num_interactions() / 2;
+
+  auto factory = NamedTrackerFactory(GetParam(), tin, params);
+  ASSERT_TRUE(factory.ok());
+  std::unique_ptr<Tracker> eager = (*factory)();
+  const auto& log = tin.interactions();
+  for (size_t i = 0; i < prefix; ++i) {
+    ASSERT_TRUE(eager->Process(log[i]).ok());
+  }
+
+  ParallelParams parallel;
+  parallel.num_threads = 3;
+  auto spec = NamedShardedSpec(GetParam(), tin, params);
+  ASSERT_TRUE(spec.ok());
+  ShardedReplayEngine engine(tin, *std::move(spec), parallel);
+  auto result = engine.ReplayPrefix(prefix);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->interactions_replayed, prefix);
+  EXPECT_EQ(eager->total_generated(), result->total_generated);
+  for (VertexId v = 0; v < tin.num_vertices(); ++v) {
+    ExpectSameBuffer(eager->Provenance(v), result->Provenance(v),
+                     GetParam() + "/prefix vertex " + std::to_string(v));
+  }
+}
+
+TEST_P(ShardedReplayTest, RepeatedRunsAreDeterministic) {
+  // Thread scheduling varies between runs; results must not.
+  const Tin tin = GeneratedTin();
+  ParallelParams parallel;
+  parallel.num_threads = 4;
+  parallel.num_shards = 7;
+  auto spec = NamedShardedSpec(GetParam(), tin, TestParams());
+  ASSERT_TRUE(spec.ok());
+  ShardedReplayEngine engine(tin, *std::move(spec), parallel);
+  auto first = engine.Replay();
+  auto second = engine.Replay();
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first->total_generated, second->total_generated);
+  EXPECT_EQ(first->num_entries, second->num_entries);
+  for (VertexId v = 0; v < tin.num_vertices(); ++v) {
+    ExpectSameBuffer(first->Provenance(v), second->Provenance(v),
+                     GetParam() + "/determinism vertex " + std::to_string(v));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTrackerNames, ShardedReplayTest,
+                         ::testing::ValuesIn(AllTrackerNames()),
+                         SanitizeName);
+
+// ---------------------------------------------------------------------
+// (b) Engine mechanics: which path runs, and the label-space clamps.
+
+TEST(ShardedReplayEngineTest, DecomposableNamesTakeTheParallelPath) {
+  const Tin tin = GeneratedTin();
+  ParallelParams parallel;
+  parallel.num_threads = 4;
+  for (const char* name : {"Prop-sparse", "Selective", "Grouped",
+                           "Windowed"}) {
+    auto spec = NamedShardedSpec(name, tin, TestParams());
+    ASSERT_TRUE(spec.ok());
+    EXPECT_TRUE(spec->decomposable) << name;
+    ShardedReplayEngine engine(tin, *std::move(spec), parallel);
+    auto result = engine.Replay();
+    ASSERT_TRUE(result.ok());
+    EXPECT_TRUE(result->used_parallel_path) << name;
+    EXPECT_GT(result->num_shards, 1u) << name;
+    EXPECT_EQ(result->shards.size(), result->num_shards) << name;
+  }
+}
+
+TEST(ShardedReplayEngineTest, NonDecomposableNamesFallBackSequentially) {
+  const Tin tin = GeneratedTin();
+  ParallelParams parallel;
+  parallel.num_threads = 4;
+  for (const char* name :
+       {"NoProv", "LIFO", "FIFO", "LRB", "MRB", "Prop-dense", "Budget"}) {
+    auto spec = NamedShardedSpec(name, tin, TestParams());
+    ASSERT_TRUE(spec.ok());
+    EXPECT_FALSE(spec->decomposable) << name;
+    ShardedReplayEngine engine(tin, *std::move(spec), parallel);
+    auto result = engine.Replay();
+    ASSERT_TRUE(result.ok()) << name;
+    EXPECT_FALSE(result->used_parallel_path) << name;
+    EXPECT_EQ(result->num_shards, 1u) << name;
+  }
+}
+
+TEST(ShardedReplayEngineTest, ShardCountClampsToLabelSpace) {
+  // Grouped labels live in [0, num_groups); asking for more shards than
+  // labels must clamp, not leave empty shards (7 groups in TestParams).
+  const Tin tin = GeneratedTin();
+  ParallelParams parallel;
+  parallel.num_threads = 4;
+  parallel.num_shards = 16;
+  auto spec = NamedShardedSpec("Grouped", tin, TestParams());
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(spec->label_count, 7u);
+  ShardedReplayEngine engine(tin, *std::move(spec), parallel);
+  auto result = engine.Replay();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_shards, 7u);
+  ExpectBitIdentical(tin, "Grouped", parallel, "Grouped/clamped");
+}
+
+TEST(ShardedReplayEngineTest, HandBuiltTinAcrossShardCounts) {
+  const Tin tin = HandTin();
+  for (size_t shards = 1; shards <= 5; ++shards) {
+    ParallelParams parallel;
+    parallel.num_threads = 2;
+    parallel.num_shards = shards;
+    ExpectBitIdentical(tin, "Prop-sparse", parallel,
+                       "hand/shards" + std::to_string(shards));
+  }
+}
+
+TEST(ShardedReplayEngineTest, AssignLabelsCoversEveryLabelOnce) {
+  const Tin tin = GeneratedTin();
+  for (const ShardStrategy strategy :
+       {ShardStrategy::kRoundRobin, ShardStrategy::kHash,
+        ShardStrategy::kContiguous, ShardStrategy::kActivity}) {
+    const auto groups = ShardedReplayEngine::AssignLabels(
+        tin, strategy, tin.num_vertices(), 4);
+    ASSERT_EQ(groups.size(), tin.num_vertices());
+    for (const GroupId g : groups) EXPECT_LT(g, 4u);
+  }
+}
+
+// ---------------------------------------------------------------------
+// (c) Wiring: the lazy engine's parallel mode and the measurement
+// harness return the same answers as their sequential counterparts.
+
+TEST(ParallelWiringTest, LazyEngineParallelMatchesSequential) {
+  const Tin tin = GeneratedTin();
+  const ScalableParams params = TestParams();
+  for (const char* name : {"Prop-sparse", "Grouped", "LIFO"}) {
+    auto factory = NamedTrackerFactory(name, tin, params);
+    ASSERT_TRUE(factory.ok());
+    LazyReplayEngine sequential(tin, *factory);
+    LazyReplayEngine parallel_engine(tin, *factory);
+    auto spec = NamedShardedSpec(name, tin, params);
+    ASSERT_TRUE(spec.ok());
+    ParallelParams parallel;
+    parallel.num_threads = 4;
+    parallel_engine.EnableParallel(*std::move(spec), parallel);
+
+    const VertexId v = 3;
+    auto expected_full = sequential.Provenance(v);
+    auto actual_full = parallel_engine.Provenance(v);
+    ASSERT_TRUE(expected_full.ok());
+    ASSERT_TRUE(actual_full.ok());
+    ExpectSameBuffer(*expected_full, *actual_full,
+                     std::string(name) + "/lazy-full");
+
+    const Timestamp t = tin.interactions()[tin.num_interactions() / 3].t;
+    auto expected_prefix = sequential.Provenance(v, t);
+    auto actual_prefix = parallel_engine.Provenance(v, t);
+    ASSERT_TRUE(expected_prefix.ok());
+    ASSERT_TRUE(actual_prefix.ok());
+    ExpectSameBuffer(*expected_prefix, *actual_prefix,
+                     std::string(name) + "/lazy-prefix");
+  }
+}
+
+TEST(ParallelWiringTest, MeasureNamedTrackerParallelOverloadRuns) {
+  const Tin tin = GeneratedTin();
+  const ScalableParams params = TestParams();
+  ParallelParams parallel;
+  parallel.num_threads = 2;
+
+  auto sharded = MeasureNamedTracker("Prop-sparse", tin, params, 0, parallel);
+  ASSERT_TRUE(sharded.ok());
+  EXPECT_TRUE(sharded->feasible);
+  EXPECT_TRUE(sharded->parallel);
+  EXPECT_GT(sharded->peak_memory, 0u);
+
+  // Non-decomposable names silently measure on the classic path.
+  auto fallback = MeasureNamedTracker("LIFO", tin, params, 0, parallel);
+  ASSERT_TRUE(fallback.ok());
+  EXPECT_FALSE(fallback->parallel);
+
+  // The final logical memory must agree with the sequential tracker's.
+  auto eager = CreateTrackerByName("Prop-sparse", tin, params);
+  ASSERT_TRUE(eager.ok());
+  ASSERT_TRUE((*eager)->ProcessAll(tin).ok());
+  EXPECT_EQ(sharded->peak_memory, (*eager)->MemoryUsage());
+}
+
+}  // namespace
+}  // namespace tinprov

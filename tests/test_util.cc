@@ -1,9 +1,13 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <utility>
 #include <vector>
 
+#include "util/arena.h"
 #include "util/memory.h"
+#include "util/pool.h"
 #include "util/random.h"
 #include "util/simd.h"
 #include "util/status.h"
@@ -171,6 +175,170 @@ TEST(SimdTest, ZeroLengthIsSafe) {
   simd::Scale(nullptr, 2.0, 0);
   simd::TransferFraction(nullptr, nullptr, 0.5, 0);
   EXPECT_EQ(simd::Sum(nullptr, 0), 0.0);
+}
+
+TEST(ArenaTest, AllocationsAreAlignedAndCounted) {
+  Arena arena;
+  EXPECT_EQ(arena.bytes_reserved(), 0u);
+  void* a = arena.Allocate(24);
+  void* b = arena.Allocate(1);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(a) % Arena::kAlignment, 0u);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(b) % Arena::kAlignment, 0u);
+  EXPECT_GE(arena.bytes_used(), 32u + 16u);  // both rounded up
+  EXPECT_GE(arena.bytes_reserved(), arena.bytes_used());
+}
+
+TEST(ArenaTest, ReserveAvoidsFurtherChunks) {
+  Arena arena;
+  arena.Reserve(1 << 20);
+  const size_t reserved = arena.bytes_reserved();
+  for (int i = 0; i < 1000; ++i) arena.Allocate(1024);
+  EXPECT_EQ(arena.bytes_reserved(), reserved);
+}
+
+TEST(NodePoolTest, RecyclesFreedBlocks) {
+  NodePool pool;
+  void* block = pool.Allocate(100);  // class-rounded to 128
+  pool.Deallocate(block, 100);
+  // Same class -> the freed block comes straight back.
+  EXPECT_EQ(pool.Allocate(128), block);
+  // Different class -> fresh storage.
+  EXPECT_NE(pool.Allocate(256), block);
+}
+
+struct TestPair {
+  uint32_t origin = 0;
+  double quantity = 0.0;
+};
+
+TEST(PooledVecTest, VectorBasicsOnHeapAndPool) {
+  NodePool pool;
+  PooledVec<TestPair> pooled(&pool);
+  PooledVec<TestPair> heap;  // null pool -> global heap
+  for (uint32_t i = 0; i < 100; ++i) {
+    pooled.push_back({i, i * 2.0});
+    heap.push_back({i, i * 2.0});
+  }
+  ASSERT_EQ(pooled.size(), 100u);
+  ASSERT_EQ(heap.size(), 100u);
+  for (uint32_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(pooled[i].origin, heap[i].origin);
+    EXPECT_EQ(pooled[i].quantity, heap[i].quantity);
+  }
+  EXPECT_GT(pool.bytes_reserved(), 0u);
+
+  pooled.clear();
+  EXPECT_TRUE(pooled.empty());
+  EXPECT_GE(pooled.capacity(), 100u);  // clear keeps capacity
+}
+
+TEST(PooledVecTest, InsertKeepsOrderAndResizeInitializes) {
+  PooledVec<TestPair> vec = {{1, 1.0}, {5, 5.0}};
+  vec.insert(vec.begin() + 1, {3, 3.0});
+  ASSERT_EQ(vec.size(), 3u);
+  EXPECT_EQ(vec[0].origin, 1u);
+  EXPECT_EQ(vec[1].origin, 3u);
+  EXPECT_EQ(vec[2].origin, 5u);
+
+  vec.resize(5);  // growth value-initializes
+  EXPECT_EQ(vec[4].origin, 0u);
+  EXPECT_EQ(vec[4].quantity, 0.0);
+  vec.resize(2);  // shrink keeps the prefix
+  ASSERT_EQ(vec.size(), 2u);
+  EXPECT_EQ(vec[1].origin, 3u);
+}
+
+TEST(PooledVecTest, SwapCarriesThePoolWithTheStorage) {
+  NodePool pool;
+  PooledVec<TestPair> pooled(&pool);
+  pooled.push_back({7, 7.0});
+  PooledVec<TestPair> heap = {{9, 9.0}};
+  pooled.swap(heap);
+  EXPECT_EQ(pooled[0].origin, 9u);
+  EXPECT_EQ(heap[0].origin, 7u);
+  // Each block must still return to the allocator it came from after
+  // the swap — ASan (CI's sanitize legs) would catch a mismatch when
+  // these vectors destruct.
+}
+
+TEST(PooledVecTest, CopyAndMoveSemantics) {
+  NodePool pool;
+  PooledVec<TestPair> original(&pool);
+  for (uint32_t i = 0; i < 10; ++i) original.push_back({i, 1.0});
+  PooledVec<TestPair> copy = original;
+  ASSERT_EQ(copy.size(), 10u);
+  copy.push_back({99, 9.9});
+  EXPECT_EQ(original.size(), 10u);  // deep copy
+
+  PooledVec<TestPair> moved = std::move(copy);
+  EXPECT_EQ(moved.size(), 11u);
+  EXPECT_EQ(moved[10].origin, 99u);
+}
+
+TEST(GallopMergeTest, MatchesSimpleMergeOnRandomLists) {
+  Rng rng(7);
+  for (int round = 0; round < 50; ++round) {
+    // Random sorted lists with duplicates across (but not within) lists.
+    auto make = [&rng](size_t len) {
+      PooledVec<TestPair> v;
+      uint32_t origin = 0;
+      for (size_t i = 0; i < len; ++i) {
+        origin += 1 + static_cast<uint32_t>(rng.NextBounded(6));
+        v.push_back({origin, rng.NextDouble() + 0.1});
+      }
+      return v;
+    };
+    const PooledVec<TestPair> a = make(rng.NextBounded(64));
+    const PooledVec<TestPair> b = make(rng.NextBounded(64));
+    const double factor = 0.25;
+
+    // Reference: naive two-pointer merge.
+    std::vector<TestPair> expected;
+    size_t i = 0;
+    size_t j = 0;
+    while (i < a.size() || j < b.size()) {
+      if (j == b.size() || (i < a.size() && a[i].origin < b[j].origin)) {
+        expected.push_back(a[i++]);
+      } else if (i == a.size() || b[j].origin < a[i].origin) {
+        expected.push_back({b[j].origin, b[j].quantity * factor});
+        ++j;
+      } else {
+        expected.push_back(
+            {a[i].origin, a[i].quantity + b[j].quantity * factor});
+        ++i;
+        ++j;
+      }
+    }
+
+    PooledVec<TestPair> out;
+    out.ResizeUninitialized(a.size() + b.size());
+    const size_t merged = simd::GallopMergeScaled(
+        out.data(), a.data(), a.size(), b.data(), b.size(), factor);
+    out.ResizeUninitialized(merged);
+    ASSERT_EQ(out.size(), expected.size()) << "round " << round;
+    for (size_t k = 0; k < expected.size(); ++k) {
+      EXPECT_EQ(out[k].origin, expected[k].origin) << "round " << round;
+      EXPECT_EQ(out[k].quantity, expected[k].quantity) << "round " << round;
+    }
+  }
+}
+
+TEST(GallopMergeTest, ScalePairsKernelsPreserveOriginBits) {
+  PooledVec<TestPair> pairs;
+  for (uint32_t i = 0; i < 37; ++i) {  // odd length exercises the tail
+    pairs.push_back({0xDEADBEEFu - i, 1.5});
+  }
+  PooledVec<TestPair> scaled;
+  scaled.ResizeUninitialized(pairs.size());
+  simd::ScaleCopyPairs(scaled.data(), pairs.data(), 0.5, pairs.size());
+  simd::ScalePairsInPlace(pairs.data(), 0.5, pairs.size());
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    EXPECT_EQ(scaled[i].origin, 0xDEADBEEFu - static_cast<uint32_t>(i));
+    EXPECT_EQ(scaled[i].quantity, 0.75);
+    EXPECT_EQ(pairs[i].origin, scaled[i].origin);
+    EXPECT_EQ(pairs[i].quantity, 0.75);
+  }
 }
 
 }  // namespace
