@@ -36,6 +36,7 @@ int main() {
   const double scale = bench::GetScale();
   bench::PrintHeader("Extension",
                      "Eager annotation maintenance vs lazy replay (FIFO)");
+  bench::JsonBenchReporter reporter("bench_lazy");
 
   const size_t kQueries = 20;
   for (const DatasetKind dataset :
@@ -93,6 +94,11 @@ int main() {
     table.AddRow({"lazy sliced replay", "0us", FormatSeconds(lazy_sliced),
                   std::to_string(replayed_sliced), "0B"});
     std::printf("%s", table.ToString().c_str());
+    const std::string dataset_name(DatasetName(dataset));
+    reporter.Record(dataset_name + "/FIFO/eager_build", eager_build, 0.0,
+                    eager->MemoryUsage());
+    reporter.Record(dataset_name + "/FIFO/lazy_full_queries", lazy_full);
+    reporter.Record(dataset_name + "/FIFO/lazy_sliced_queries", lazy_sliced);
     const double per_lazy_query = lazy_sliced / static_cast<double>(kQueries);
     if (per_lazy_query > 0.0) {
       std::printf("break-even: eager wins beyond ~%.0f queries over the "
@@ -138,6 +144,10 @@ int main() {
     table.AddRow({"full-prefix replay", "0us", FormatSeconds(replay_query),
                   "0B"});
     std::printf("%s", table.ToString().c_str());
+    reporter.Record("CTU/FIFO/time_travel_build", index_build, 0.0,
+                    (*index)->MemoryUsage());
+    reporter.Record("CTU/FIFO/time_travel_queries", index_query);
+    reporter.Record("CTU/FIFO/prefix_replay_queries", replay_query);
   }
 
   std::printf(

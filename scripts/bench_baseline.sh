@@ -59,6 +59,8 @@ json_run() {
 json_run bench_policies "${OUT_DIR}/BENCH_policies.json"
 json_run bench_datasets "${OUT_DIR}/BENCH_datasets.json"
 json_run bench_parallel "${OUT_DIR}/BENCH_parallel.json"
+json_run bench_lazy "${OUT_DIR}/BENCH_lazy.json"
+json_run bench_stream "${OUT_DIR}/BENCH_stream.json"
 
 echo "baseline: $(ls "${OUT_DIR}"/BENCH_*.json 2>/dev/null | wc -l) JSON files in ${OUT_DIR}"
 

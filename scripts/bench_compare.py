@@ -8,10 +8,12 @@ JsonBenchReporter emit the same shape: {"context": ..., "benchmarks":
 than the threshold (default 25%).
 
 Usage: bench_compare.py BASELINE_DIR CURRENT_DIR [--threshold 0.25]
-                        [--strict]
+                        [--fail-on-regress]
 
-Exits 0 unless --strict is given and a regression was found. Only the
-standard library is used.
+Exits 0 unless --fail-on-regress (alias: --strict) is given and a
+regression was found — CI keeps the default warn-only mode, the flag is
+for local gates and release branches. Only the standard library is
+used.
 """
 
 import argparse
@@ -45,8 +47,10 @@ def main():
     parser.add_argument("--threshold", type=float, default=0.25,
                         help="relative slowdown that counts as a "
                              "regression (default 0.25 = 25%%)")
-    parser.add_argument("--strict", action="store_true",
-                        help="exit 1 when a regression is found")
+    parser.add_argument("--fail-on-regress", "--strict", dest="strict",
+                        action="store_true",
+                        help="exit 1 when a regression is found "
+                             "(default: warn only, as CI runs it)")
     args = parser.parse_args()
 
     regressions = []

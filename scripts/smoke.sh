@@ -77,6 +77,10 @@ TINPROV_SCALE=0.1 run_logged "${TINPROV_LAZY_SMOKE_LOG:-}" bench_lazy
 # bench_parallel replays each preset once per thread count (and each
 # shard re-scans the stream), so its smoke scale stays pinned too.
 run_pinned 0.1 bench_parallel
+# bench_stream replays each preset three times (materialized, streaming,
+# streaming+sharded) plus the 1x/4x buffering-flatness check, so its
+# smoke scale stays pinned like the other multi-pass harnesses.
+run_pinned 0.1 bench_stream
 run bench_micro --benchmark_min_time=0.01
 
 echo "smoke: all registered benches completed"

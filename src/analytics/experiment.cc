@@ -44,6 +44,28 @@ StatusOr<Measurement> MeasureRun(Tracker* tracker, const Tin& tin,
   return measurement;
 }
 
+StatusOr<Measurement> MeasureStreamRun(Tracker* tracker,
+                                       InteractionStream& stream,
+                                       const std::string& label,
+                                       IngestStats* ingest_stats) {
+  if (tracker == nullptr) {
+    return Status::InvalidArgument("null tracker for " + label);
+  }
+  StreamIngestor ingestor(tracker);
+  const Status status = ingestor.IngestAll(stream);
+  if (!status.ok()) {
+    return Status(status.code(),
+                  "streaming " + label + ": " + status.message());
+  }
+  if (ingest_stats != nullptr) *ingest_stats = ingestor.stats();
+  Measurement measurement;
+  measurement.seconds = ingestor.stats().seconds;
+  measurement.peak_memory =
+      std::max(ingestor.stats().tracker_peak_memory, tracker->MemoryUsage());
+  measurement.feasible = true;
+  return measurement;
+}
+
 StatusOr<Measurement> MeasurePolicy(PolicyKind kind, const Tin& tin,
                                     const std::string& dataset_name,
                                     size_t dense_memory_limit) {
@@ -60,6 +82,21 @@ StatusOr<Measurement> MeasurePolicy(PolicyKind kind, const Tin& tin,
   return MeasureRun(tracker.get(), tin,
                     dataset_name + "/" + std::string(PolicyName(kind)));
 }
+
+namespace {
+
+Status UnknownTrackerName(std::string_view name) {
+  std::string known;
+  for (const std::string& candidate : AllTrackerNames()) {
+    if (!known.empty()) known += ", ";
+    known += candidate;
+  }
+  return Status::InvalidArgument("unknown tracker name: \"" +
+                                 std::string(name) + "\" (expected one of " +
+                                 known + ")");
+}
+
+}  // namespace
 
 StatusOr<std::unique_ptr<Tracker>> CreateTrackerByName(
     std::string_view name, const Tin& tin, const ScalableParams& params) {
@@ -101,14 +138,7 @@ StatusOr<TrackerFactory> NamedTrackerFactory(std::string_view name,
     return std::move(spec->sequential);
   }
 
-  std::string known;
-  for (const std::string& candidate : AllTrackerNames()) {
-    if (!known.empty()) known += ", ";
-    known += candidate;
-  }
-  return Status::InvalidArgument("unknown tracker name: \"" +
-                                 std::string(name) + "\" (expected one of " +
-                                 known + ")");
+  return UnknownTrackerName(name);
 }
 
 std::vector<std::string> AllTrackerNames() {
@@ -123,10 +153,29 @@ std::vector<std::string> AllTrackerNames() {
   return names;
 }
 
-StatusOr<ShardedSpec> NamedShardedSpec(std::string_view name, const Tin& tin,
-                                       const ScalableParams& params) {
+namespace {
+
+/// The streaming stand-in for Selective's selection step: a stream
+/// cannot be pre-scanned for its top generators, so the tracked set is
+/// fixed a priori as the k lowest vertex ids.
+std::vector<VertexId> FirstVertices(size_t num_vertices, size_t k) {
+  std::vector<VertexId> tracked(std::min(num_vertices, k));
+  for (size_t i = 0; i < tracked.size(); ++i) {
+    tracked[i] = static_cast<VertexId>(i);
+  }
+  return tracked;
+}
+
+/// Shared body of NamedShardedSpec (tin != nullptr) and StreamShardedSpec
+/// (tin == nullptr): the decomposability classification is identical;
+/// only Selective's selection step and the non-decomposable fallback
+/// factory differ between the materialized and streaming forms.
+StatusOr<ShardedSpec> ShardedSpecImpl(std::string_view name,
+                                      const DatasetStats& stats,
+                                      const ScalableParams& params,
+                                      const Tin* tin) {
   ShardedSpec spec;
-  const size_t n = tin.num_vertices();
+  const size_t n = stats.num_vertices;
   const auto kind = PolicyKindFromName(name);
   const std::string lower = AsciiLower(name);
   // Order-based policies consume entries across labels, the dense
@@ -150,7 +199,9 @@ StatusOr<ShardedSpec> NamedShardedSpec(std::string_view name, const Tin& tin,
     spec.decomposable = true;
     spec.label_count = n;
     spec.make_shard =
-        [n, tracked = TopGeneratingVertices(tin, params.num_tracked)] {
+        [n, tracked = tin != nullptr
+                          ? TopGeneratingVertices(*tin, params.num_tracked)
+                          : FirstVertices(n, params.num_tracked)] {
           return std::make_unique<SelectiveTracker>(n, tracked);
         };
   } else if (!kind.ok() && lower == "grouped") {
@@ -171,10 +222,53 @@ StatusOr<ShardedSpec> NamedShardedSpec(std::string_view name, const Tin& tin,
     };
     return spec;
   }
-  auto sequential = NamedTrackerFactory(name, tin, params);
+  auto sequential = tin != nullptr
+                        ? NamedTrackerFactory(name, *tin, params)
+                        : StreamTrackerFactory(name, stats, params);
   if (!sequential.ok()) return sequential.status();
   spec.sequential = *std::move(sequential);
   return spec;
+}
+
+}  // namespace
+
+StatusOr<ShardedSpec> NamedShardedSpec(std::string_view name, const Tin& tin,
+                                       const ScalableParams& params) {
+  return ShardedSpecImpl(name, tin.Stats(), params, &tin);
+}
+
+StatusOr<ShardedSpec> StreamShardedSpec(std::string_view name,
+                                        const DatasetStats& stats,
+                                        const ScalableParams& params) {
+  return ShardedSpecImpl(name, stats, params, nullptr);
+}
+
+StatusOr<TrackerFactory> StreamTrackerFactory(std::string_view name,
+                                              const DatasetStats& stats,
+                                              const ScalableParams& params) {
+  const size_t n = stats.num_vertices;
+  const auto kind = PolicyKindFromName(name);
+  if (kind.ok()) {
+    return TrackerFactory(
+        [n, kind = *kind] { return CreateTracker(kind, n); });
+  }
+
+  const std::string lower = AsciiLower(name);
+  if (lower == "budget") {
+    return TrackerFactory([n, budget = params.budget] {
+      return std::unique_ptr<Tracker>(
+          std::make_unique<BudgetTracker>(n, budget));
+    });
+  }
+  if (lower == "windowed" || lower == "selective" || lower == "grouped") {
+    // Same single-construction-site discipline as NamedTrackerFactory:
+    // the spec's unrestricted sequential closure IS the factory.
+    auto spec = StreamShardedSpec(name, stats, params);
+    if (!spec.ok()) return spec.status();
+    return std::move(spec->sequential);
+  }
+
+  return UnknownTrackerName(name);
 }
 
 StatusOr<Measurement> MeasureNamedTracker(std::string_view name,
@@ -222,6 +316,31 @@ StatusOr<Measurement> MeasureNamedTracker(std::string_view name,
                             tin.num_vertices() * sizeof(double);
   measurement.parallel = result->used_parallel_path;
   return measurement;
+}
+
+StatusOr<Measurement> MeasureNamedTracker(std::string_view name,
+                                          InteractionStream& stream,
+                                          const ScalableParams& params,
+                                          size_t dense_memory_limit,
+                                          IngestStats* ingest_stats) {
+  const DatasetStats stats = stream.Stats();
+  const auto kind = PolicyKindFromName(name);
+  if (kind.ok() && *kind == PolicyKind::kProportionalDense &&
+      dense_memory_limit > 0 &&
+      DenseMemoryBound(stats.num_vertices) > dense_memory_limit) {
+    Measurement measurement;
+    measurement.feasible = false;
+    return measurement;
+  }
+  auto factory = StreamTrackerFactory(name, stats, params);
+  if (!factory.ok()) return factory.status();
+  std::unique_ptr<Tracker> tracker = (*factory)();
+  if (tracker == nullptr) {
+    return Status::Internal("tracker factory returned null for \"" +
+                            std::string(name) + "\"");
+  }
+  return MeasureStreamRun(tracker.get(), stream, std::string(name),
+                          ingest_stats);
 }
 
 }  // namespace tinprov

@@ -14,6 +14,7 @@
 #include "parallel/sharded_replay.h"
 #include "policies/tracker.h"
 #include "scalable/budget.h"
+#include "stream/ingest.h"
 #include "util/status.h"
 
 namespace tinprov {
@@ -30,6 +31,17 @@ struct Measurement {
 /// used in error messages only.
 StatusOr<Measurement> MeasureRun(Tracker* tracker, const Tin& tin,
                                  const std::string& label);
+
+/// Streaming MeasureRun: drives `tracker` from `stream` through a
+/// StreamIngestor (micro-batched, watermark-checked, arena pre-sizing
+/// from stream.Stats()). The memory peak is sampled once per batch —
+/// coarser than MeasureRun's ~64 in-run samples, but Tin-free. When
+/// `ingest_stats` is non-null it receives the full ingest accounting
+/// (watermark, batches, peak buffering).
+StatusOr<Measurement> MeasureStreamRun(Tracker* tracker,
+                                       InteractionStream& stream,
+                                       const std::string& label,
+                                       IngestStats* ingest_stats = nullptr);
 
 /// Creates a tracker for `kind` and measures it. When `kind` is the
 /// dense proportional policy and its worst-case memory over
@@ -69,6 +81,17 @@ StatusOr<TrackerFactory> NamedTrackerFactory(std::string_view name,
                                              const Tin& tin,
                                              const ScalableParams& params);
 
+/// Tin-free NamedTrackerFactory for streaming pipelines: resolves the
+/// same names from the dataset's shape alone. One semantic difference
+/// is forced by streaming: "Selective" cannot pre-scan the stream for
+/// its top generators (the selection step needs a materialized log), so
+/// it tracks the params.num_tracked lowest vertex ids — a fixed a
+/// priori set. Every other name is configured identically to its
+/// materialized counterpart.
+StatusOr<TrackerFactory> StreamTrackerFactory(std::string_view name,
+                                              const DatasetStats& stats,
+                                              const ScalableParams& params);
+
 /// Every name CreateTrackerByName accepts, in reporting order: the
 /// Table 7/8 policies first, then the Section 5.2-5.3 scalable trackers.
 std::vector<std::string> AllTrackerNames();
@@ -92,6 +115,14 @@ StatusOr<Measurement> MeasureNamedTracker(std::string_view name,
 StatusOr<ShardedSpec> NamedShardedSpec(std::string_view name, const Tin& tin,
                                        const ScalableParams& params);
 
+/// Tin-free NamedShardedSpec for the engine's streaming form
+/// (ShardedReplayEngine over DatasetStats + ReplayStream). Same
+/// decomposability classification; "Selective" uses the a-priori
+/// tracked set StreamTrackerFactory documents.
+StatusOr<ShardedSpec> StreamShardedSpec(std::string_view name,
+                                        const DatasetStats& stats,
+                                        const ScalableParams& params);
+
 /// Like MeasureNamedTracker, but replays through the parallel sharded
 /// engine when `parallel` resolves to more than one shard and the name
 /// is decomposable (results stay bit-identical either way — see
@@ -103,6 +134,16 @@ StatusOr<Measurement> MeasureNamedTracker(std::string_view name,
                                           const ScalableParams& params,
                                           size_t dense_memory_limit,
                                           const ParallelParams& parallel);
+
+/// Streaming overload of MeasureNamedTracker: constructs the tracker
+/// from stream.Stats() alone (StreamTrackerFactory — no materialized
+/// log anywhere in the pipeline) and drives it with MeasureStreamRun.
+/// The dense feasibility gate applies over stats.num_vertices.
+StatusOr<Measurement> MeasureNamedTracker(std::string_view name,
+                                          InteractionStream& stream,
+                                          const ScalableParams& params,
+                                          size_t dense_memory_limit,
+                                          IngestStats* ingest_stats = nullptr);
 
 }  // namespace tinprov
 

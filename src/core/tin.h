@@ -19,6 +19,17 @@ struct TinStats {
   double avg_quantity = 0.0;
 };
 
+/// The shape a processing pipeline needs to know about its input before
+/// seeing a single interaction: the vertex-id space and, when known, the
+/// stream length. This is the Tin-free half of TinStats — streams
+/// (stream/interaction_stream.h) advertise it so trackers can pre-size
+/// allocations (Tracker::ReserveHint) without a materialized log.
+struct DatasetStats {
+  size_t num_vertices = 0;
+  /// Expected interaction count; 0 means unknown (open-ended stream).
+  size_t num_interactions = 0;
+};
+
 /// An immutable temporal interaction network. Construction sorts the log
 /// by timestamp (stable, so simultaneous interactions keep their input
 /// order) and builds a CSR index from each vertex to the interactions
@@ -45,6 +56,9 @@ class Tin {
 
   /// Bytes held by the log and the vertex index.
   size_t MemoryUsage() const;
+
+  /// The pre-sizing shape of this log; O(1), unlike ComputeStats().
+  DatasetStats Stats() const { return {num_vertices_, interactions_.size()}; }
 
   /// Scans the log; O(|interactions|) time, O(|edges|) space.
   TinStats ComputeStats() const;

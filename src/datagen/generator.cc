@@ -2,32 +2,12 @@
 
 #include <cmath>
 #include <numeric>
-#include <optional>
+#include <utility>
 #include <vector>
-
-#include "util/random.h"
 
 namespace tinprov {
 
 namespace {
-
-double SampleQuantity(const GeneratorConfig& config, Rng& rng) {
-  switch (config.quantity_model) {
-    case QuantityModel::kFixed:
-      return config.quantity_param1;
-    case QuantityModel::kUniform:
-      return config.quantity_param1 +
-             (config.quantity_param2 - config.quantity_param1) *
-                 rng.NextDouble();
-    case QuantityModel::kLogNormal:
-      return std::exp(config.quantity_param1 +
-                      config.quantity_param2 * rng.NextGaussian());
-    case QuantityModel::kPareto:
-      return config.quantity_param1 *
-             std::pow(1.0 - rng.NextDouble(), -1.0 / config.quantity_param2);
-  }
-  return 0.0;
-}
 
 // Fisher-Yates permutation of [0, n), so that the Zipf head does not
 // coincide across the source and destination distributions.
@@ -42,7 +22,8 @@ std::vector<VertexId> RandomPermutation(size_t n, Rng& rng) {
 
 }  // namespace
 
-StatusOr<Tin> Generate(const GeneratorConfig& config) {
+StatusOr<InteractionEmitter> InteractionEmitter::Create(
+    const GeneratorConfig& config) {
   if (config.num_vertices == 0) {
     return Status::InvalidArgument("num_vertices must be positive");
   }
@@ -62,43 +43,72 @@ StatusOr<Tin> Generate(const GeneratorConfig& config) {
       config.quantity_param2 <= 0.0) {
     return Status::InvalidArgument("Pareto alpha must be positive");
   }
+  return InteractionEmitter(config);
+}
 
-  Rng rng(config.seed);
-  std::optional<ZipfDistribution> src_zipf;
-  std::optional<ZipfDistribution> dst_zipf;
-  if (config.src_skew > 0.0) {
-    src_zipf.emplace(config.num_vertices, config.src_skew);
+InteractionEmitter::InteractionEmitter(const GeneratorConfig& config)
+    : config_(config), rng_(config.seed) {
+  if (config_.src_skew > 0.0) {
+    src_zipf_.emplace(config_.num_vertices, config_.src_skew);
   }
-  if (config.dst_skew > 0.0) {
-    dst_zipf.emplace(config.num_vertices, config.dst_skew);
+  if (config_.dst_skew > 0.0) {
+    dst_zipf_.emplace(config_.num_vertices, config_.dst_skew);
   }
-  const std::vector<VertexId> src_perm =
-      RandomPermutation(config.num_vertices, rng);
-  const std::vector<VertexId> dst_perm =
-      RandomPermutation(config.num_vertices, rng);
+  // Draw order matters for bit-identical emission: src permutation,
+  // then dst permutation, then the per-interaction samples.
+  src_perm_ = RandomPermutation(config_.num_vertices, rng_);
+  dst_perm_ = RandomPermutation(config_.num_vertices, rng_);
+}
+
+double InteractionEmitter::SampleQuantity() {
+  switch (config_.quantity_model) {
+    case QuantityModel::kFixed:
+      return config_.quantity_param1;
+    case QuantityModel::kUniform:
+      return config_.quantity_param1 +
+             (config_.quantity_param2 - config_.quantity_param1) *
+                 rng_.NextDouble();
+    case QuantityModel::kLogNormal:
+      return std::exp(config_.quantity_param1 +
+                      config_.quantity_param2 * rng_.NextGaussian());
+    case QuantityModel::kPareto:
+      return config_.quantity_param1 *
+             std::pow(1.0 - rng_.NextDouble(), -1.0 / config_.quantity_param2);
+  }
+  return 0.0;
+}
+
+Interaction InteractionEmitter::Next() {
+  // Exponential inter-arrival keeps timestamps strictly increasing in
+  // expectation and distinct with probability 1.
+  t_ += -config_.mean_inter_arrival *
+        std::log(1.0 - rng_.NextDouble() + 1e-300);
+  Interaction interaction;
+  interaction.t = t_;
+  interaction.src =
+      src_perm_[src_zipf_ ? (*src_zipf_)(rng_)
+                          : rng_.NextBounded(config_.num_vertices)];
+  if (config_.self_loop_fraction > 0.0 &&
+      rng_.NextDouble() < config_.self_loop_fraction) {
+    interaction.dst = interaction.src;
+  } else {
+    interaction.dst =
+        dst_perm_[dst_zipf_ ? (*dst_zipf_)(rng_)
+                            : rng_.NextBounded(config_.num_vertices)];
+  }
+  interaction.quantity = SampleQuantity();
+  ++emitted_;
+  return interaction;
+}
+
+StatusOr<Tin> Generate(const GeneratorConfig& config) {
+  auto emitter = InteractionEmitter::Create(config);
+  if (!emitter.ok()) return emitter.status();
 
   std::vector<Interaction> interactions;
   interactions.reserve(config.num_interactions);
-  double t = 0.0;
-  for (size_t i = 0; i < config.num_interactions; ++i) {
-    // Exponential inter-arrival keeps timestamps strictly increasing in
-    // expectation and distinct with probability 1.
-    t += -config.mean_inter_arrival * std::log(1.0 - rng.NextDouble() + 1e-300);
-    Interaction interaction;
-    interaction.t = t;
-    interaction.src =
-        src_perm[src_zipf ? (*src_zipf)(rng)
-                          : rng.NextBounded(config.num_vertices)];
-    if (config.self_loop_fraction > 0.0 &&
-        rng.NextDouble() < config.self_loop_fraction) {
-      interaction.dst = interaction.src;
-    } else {
-      interaction.dst =
-          dst_perm[dst_zipf ? (*dst_zipf)(rng)
-                            : rng.NextBounded(config.num_vertices)];
-    }
-    interaction.quantity = SampleQuantity(config, rng);
-    interactions.push_back(interaction);
+  while (!emitter->Done()) {
+    interactions.push_back(emitter->Next());
   }
   return Tin(config.num_vertices, std::move(interactions));
 }

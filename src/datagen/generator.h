@@ -2,12 +2,22 @@
 // independent Zipf distributions over randomly permuted vertex ids;
 // inter-arrival times are exponential; quantities come from a pluggable
 // marginal. Identical configs always produce identical streams.
+//
+// The generator is an incremental emitter (InteractionEmitter): it
+// draws one interaction per Next() call in non-decreasing time order,
+// holding only O(num_vertices) state. Generate() materializes the whole
+// emission into a Tin; stream/interaction_stream.h's GeneratorStream
+// pulls from the same emitter without ever materializing the log, so
+// the two paths produce bit-identical interaction sequences.
 #ifndef TINPROV_DATAGEN_GENERATOR_H_
 #define TINPROV_DATAGEN_GENERATOR_H_
 
 #include <cstdint>
+#include <optional>
+#include <vector>
 
 #include "core/tin.h"
+#include "util/random.h"
 #include "util/status.h"
 
 namespace tinprov {
@@ -40,7 +50,48 @@ struct GeneratorConfig {
   uint64_t seed = 42;
 };
 
+/// The incremental generator core: validates the config once, then
+/// emits config.num_interactions interactions one Next() call at a
+/// time, each with a timestamp >= the previous one. Standing state is
+/// the RNG plus two vertex permutations — O(num_vertices), independent
+/// of the stream length.
+class InteractionEmitter {
+ public:
+  /// An exhausted emitter (Done() from the start) — the empty state
+  /// StatusOr and default-constructed members need. Create() is the
+  /// real entry point.
+  InteractionEmitter() : rng_(0) {}
+
+  /// Fails on empty or inconsistent configs (the checks Generate()
+  /// always applied).
+  static StatusOr<InteractionEmitter> Create(const GeneratorConfig& config);
+
+  /// True once every configured interaction has been emitted.
+  bool Done() const { return emitted_ == config_.num_interactions; }
+
+  /// Draws the next interaction. Must not be called when Done().
+  Interaction Next();
+
+  size_t emitted() const { return emitted_; }
+  const GeneratorConfig& config() const { return config_; }
+
+ private:
+  explicit InteractionEmitter(const GeneratorConfig& config);
+
+  double SampleQuantity();
+
+  GeneratorConfig config_;
+  Rng rng_;
+  std::optional<ZipfDistribution> src_zipf_;
+  std::optional<ZipfDistribution> dst_zipf_;
+  std::vector<VertexId> src_perm_;
+  std::vector<VertexId> dst_perm_;
+  double t_ = 0.0;
+  size_t emitted_ = 0;
+};
+
 /// Generates a time-sorted TIN; fails on empty or inconsistent configs.
+/// Equivalent to draining a fresh InteractionEmitter into a Tin.
 StatusOr<Tin> Generate(const GeneratorConfig& config);
 
 }  // namespace tinprov

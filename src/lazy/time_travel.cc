@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "stream/interaction_stream.h"
+
 namespace tinprov {
 
 StatusOr<std::unique_ptr<TimeTravelIndex>> TimeTravelIndex::Build(
@@ -12,35 +14,101 @@ StatusOr<std::unique_ptr<TimeTravelIndex>> TimeTravelIndex::Build(
 
 StatusOr<std::unique_ptr<TimeTravelIndex>> TimeTravelIndex::Build(
     const Tin& tin, TrackerFactory factory, size_t snapshot_interval) {
+  auto index =
+      NewStreaming(tin.num_vertices(), std::move(factory), snapshot_interval);
+  if (!index.ok()) return index.status();
+  // The caller already holds the materialized log, so nothing needs to
+  // be retained: feed it through the same Observe() path the streaming
+  // form uses and point the index at the borrowed Tin.
+  (*index)->retain_log_ = false;
+  (*index)->tin_ = &tin;
+  for (const Interaction& interaction : tin.interactions()) {
+    const Status status = (*index)->Observe(interaction);
+    if (!status.ok()) return status;
+  }
+  const Status status = (*index)->Finalize();
+  if (!status.ok()) return status;
+  return index;
+}
+
+StatusOr<std::unique_ptr<TimeTravelIndex>> TimeTravelIndex::NewStreaming(
+    size_t num_vertices, TrackerFactory factory, size_t snapshot_interval) {
   if (!factory) {
     return Status::InvalidArgument("time-travel index needs a factory");
   }
   const size_t interval = snapshot_interval == 0 ? 1 : snapshot_interval;
   std::unique_ptr<TimeTravelIndex> index(
-      new TimeTravelIndex(tin, std::move(factory), interval));
-  std::unique_ptr<Tracker> tracker = index->factory_();
-  if (tracker == nullptr) {
+      new TimeTravelIndex(num_vertices, std::move(factory), interval));
+  index->retain_log_ = true;
+  index->build_tracker_ = index->factory_();
+  if (index->build_tracker_ == nullptr) {
     return Status::Internal("tracker factory returned null");
-  }
-  const auto& log = tin.interactions();
-  for (size_t i = 0; i < log.size(); ++i) {
-    const Status status = tracker->Process(log[i]);
-    if (!status.ok()) {
-      return Status(status.code(), "time-travel build at interaction " +
-                                       std::to_string(i) + ": " +
-                                       status.message());
-    }
-    if ((i + 1) % interval == 0) {
-      Snapshot snapshot;
-      snapshot.prefix = i + 1;
-      tracker->SaveState(&snapshot.state);
-      index->snapshots_.push_back(std::move(snapshot));
-    }
   }
   return index;
 }
 
+Status TimeTravelIndex::Observe(const Interaction& interaction) {
+  if (finalized_) {
+    return Status::FailedPrecondition(
+        "time-travel index is finalized — no further interactions");
+  }
+  if (interaction.t < watermark_) {
+    return Status::InvalidArgument(
+        "time-travel build at interaction " + std::to_string(observed_) +
+        ": timestamp below the watermark — wrap the source in a "
+        "SortingStream");
+  }
+  watermark_ = interaction.t;
+  const Status status = build_tracker_->Process(interaction);
+  if (!status.ok()) {
+    return Status(status.code(), "time-travel build at interaction " +
+                                     std::to_string(observed_) + ": " +
+                                     status.message());
+  }
+  if (retain_log_) log_.push_back(interaction);
+  ++observed_;
+  if (observed_ % interval_ == 0) {
+    Snapshot snapshot;
+    snapshot.prefix = observed_;
+    build_tracker_->SaveState(&snapshot.state);
+    snapshots_.push_back(std::move(snapshot));
+  }
+  return Status::Ok();
+}
+
+Status TimeTravelIndex::ObserveStream(InteractionStream& stream) {
+  Interaction interaction;
+  while (stream.Next(&interaction)) {
+    const Status status = Observe(interaction);
+    if (!status.ok()) return status;
+  }
+  return Status::Ok();
+}
+
+Status TimeTravelIndex::Finalize() {
+  if (finalized_) return Status::Ok();
+  if (retain_log_) {
+    // Arrivals were watermark-checked, so the Tin constructor's stable
+    // sort is an identity permutation and the snapshot prefixes keep
+    // pointing at the right log positions.
+    owned_tin_ = std::make_unique<Tin>(num_vertices_, std::move(log_));
+    log_ = {};
+    tin_ = owned_tin_.get();
+  }
+  if (tin_ == nullptr) {
+    return Status::FailedPrecondition(
+        "time-travel index has no log to query");
+  }
+  build_tracker_.reset();
+  finalized_ = true;
+  return Status::Ok();
+}
+
 StatusOr<Buffer> TimeTravelIndex::Provenance(VertexId v, Timestamp t) const {
+  if (!finalized_) {
+    return Status::FailedPrecondition(
+        "time-travel index is still ingesting — call Finalize() first");
+  }
   if (v >= tin_->num_vertices()) {
     return Status::InvalidArgument("query vertex " + std::to_string(v) +
                                    " out of range");
@@ -84,6 +152,8 @@ size_t TimeTravelIndex::MemoryUsage() const {
   for (const Snapshot& snapshot : snapshots_) {
     bytes += snapshot.state.size() + sizeof(snapshot.prefix);
   }
+  bytes += log_.capacity() * sizeof(Interaction);
+  if (owned_tin_ != nullptr) bytes += owned_tin_->MemoryUsage();
   return bytes;
 }
 

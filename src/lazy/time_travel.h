@@ -12,6 +12,7 @@
 #define TINPROV_LAZY_TIME_TRAVEL_H_
 
 #include <cstdint>
+#include <limits>
 #include <memory>
 #include <vector>
 
@@ -23,6 +24,8 @@
 #include "util/status.h"
 
 namespace tinprov {
+
+class InteractionStream;  // stream/interaction_stream.h
 
 class TimeTravelIndex {
  public:
@@ -38,6 +41,38 @@ class TimeTravelIndex {
   static StatusOr<std::unique_ptr<TimeTravelIndex>> Build(
       const Tin& tin, TrackerFactory factory, size_t snapshot_interval);
 
+  /// Streaming construction: the index is built as interactions arrive
+  /// instead of from a pre-materialized log. Observe() each interaction
+  /// (snapshots are cut at the ingest watermark, i.e. every
+  /// snapshot_interval observed interactions, exactly where Build()
+  /// would cut them), then Finalize() to enable queries. The index
+  /// retains the observed log — historical delta replay needs it — so
+  /// standing memory still grows with the stream; what streaming buys
+  /// is single-pass ingestion with the build tracker and snapshots
+  /// advancing while data arrives. Results are bit-identical to
+  /// Build() over the materialized equivalent.
+  static StatusOr<std::unique_ptr<TimeTravelIndex>> NewStreaming(
+      size_t num_vertices, TrackerFactory factory, size_t snapshot_interval);
+
+  /// Applies one arriving interaction to the unfinalized index.
+  /// Enforces non-decreasing timestamps (wrap disordered sources in a
+  /// SortingStream); FailedPrecondition once finalized.
+  Status Observe(const Interaction& interaction);
+
+  /// Drains `stream` through Observe().
+  Status ObserveStream(InteractionStream& stream);
+
+  /// Ends ingestion: materializes the retained log's index and enables
+  /// Provenance(). Idempotent; Observe() is rejected afterwards.
+  Status Finalize();
+
+  /// True when the index answers queries (Build() returns finalized
+  /// indexes; streaming ones finalize explicitly).
+  bool finalized() const { return finalized_; }
+
+  /// Timestamp of the last observed interaction.
+  Timestamp watermark() const { return watermark_; }
+
   /// Provenance of `v` at historical time `t` (inclusive): restore the
   /// nearest snapshot at or before t's prefix, replay the delta. Equals
   /// full-prefix replay bit-exactly. Times before the first interaction
@@ -49,7 +84,9 @@ class TimeTravelIndex {
 
   /// Standing bytes of serialized snapshot state plus the per-snapshot
   /// prefix bookkeeping (excluding container-header overhead, matching
-  /// the Tracker::MemoryUsage() accounting convention).
+  /// the Tracker::MemoryUsage() accounting convention). A streaming
+  /// index additionally counts the log it retains; a Build() index
+  /// borrows its log, so the log is the caller's bill.
   size_t MemoryUsage() const;
 
  private:
@@ -58,13 +95,24 @@ class TimeTravelIndex {
     std::vector<uint8_t> state;
   };
 
-  TimeTravelIndex(const Tin& tin, TrackerFactory factory, size_t interval)
-      : tin_(&tin), factory_(std::move(factory)), interval_(interval) {}
+  TimeTravelIndex(size_t num_vertices, TrackerFactory factory,
+                  size_t interval)
+      : num_vertices_(num_vertices),
+        factory_(std::move(factory)),
+        interval_(interval) {}
 
-  const Tin* tin_;
+  size_t num_vertices_;
+  const Tin* tin_ = nullptr;          // set at Finalize (or by Build)
+  std::unique_ptr<Tin> owned_tin_;    // streaming form owns its log
   TrackerFactory factory_;
   size_t interval_;
   std::vector<Snapshot> snapshots_;
+  std::unique_ptr<Tracker> build_tracker_;  // live between ctor and Finalize
+  std::vector<Interaction> log_;      // retained arrivals (streaming form)
+  bool retain_log_ = false;
+  bool finalized_ = false;
+  size_t observed_ = 0;
+  Timestamp watermark_ = std::numeric_limits<Timestamp>::lowest();
 };
 
 }  // namespace tinprov

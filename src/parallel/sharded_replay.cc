@@ -2,12 +2,19 @@
 
 #include <algorithm>
 #include <atomic>
+#include <limits>
+#include <memory>
 #include <string>
 #include <utility>
 
+#include "stream/ingest.h"
+#include "stream/interaction_stream.h"
 #include "util/stopwatch.h"
 
 #if !defined(TINPROV_NO_THREADS)
+#include <condition_variable>
+#include <deque>
+#include <mutex>
 #include <thread>
 #endif
 
@@ -96,7 +103,13 @@ Buffer ShardedReplayResult::Provenance(VertexId v) const {
 
 ShardedReplayEngine::ShardedReplayEngine(const Tin& tin, ShardedSpec spec,
                                          ParallelParams params)
-    : tin_(&tin), spec_(std::move(spec)), params_(params) {}
+    : tin_(&tin), stats_(tin.Stats()), spec_(std::move(spec)),
+      params_(params) {}
+
+ShardedReplayEngine::ShardedReplayEngine(const DatasetStats& stats,
+                                         ShardedSpec spec,
+                                         ParallelParams params)
+    : tin_(nullptr), stats_(stats), spec_(std::move(spec)), params_(params) {}
 
 size_t ShardedReplayEngine::ResolvedThreads() const {
   return params_.num_threads == 0 ? HardwareThreads() : params_.num_threads;
@@ -125,11 +138,15 @@ std::vector<GroupId> ShardedReplayEngine::AssignLabels(const Tin& tin,
 }
 
 StatusOr<ShardedReplayResult> ShardedReplayEngine::Replay() const {
+  if (tin_ == nullptr) {
+    return Status::FailedPrecondition(
+        "engine was built without a materialized log — use ReplayStream");
+  }
   return ReplayPrefix(tin_->num_interactions());
 }
 
-StatusOr<std::unique_ptr<Tracker>> ShardedReplayEngine::SequentialTracker(
-    size_t prefix) const {
+StatusOr<std::unique_ptr<Tracker>> ShardedReplayEngine::MakeSequentialTracker()
+    const {
   if (!spec_.sequential) {
     return Status::FailedPrecondition(
         "sharded spec has no sequential tracker factory");
@@ -138,18 +155,46 @@ StatusOr<std::unique_ptr<Tracker>> ShardedReplayEngine::SequentialTracker(
   if (tracker == nullptr) {
     return Status::Internal("sequential tracker factory returned null");
   }
-  tracker->ReserveHint(*tin_);
-  const auto& log = tin_->interactions();
-  for (size_t i = 0; i < prefix; ++i) {
-    const Status status = tracker->Process(log[i]);
-    if (!status.ok()) {
-      return Status(status.code(), "sequential replay at interaction " +
-                                       std::to_string(i) + ": " +
-                                       status.message());
-    }
+  return tracker;
+}
+
+StatusOr<std::unique_ptr<Tracker>> ShardedReplayEngine::SequentialTracker(
+    size_t prefix) const {
+  auto tracker = MakeSequentialTracker();
+  if (!tracker.ok()) return tracker.status();
+  MaterializedStream stream(*tin_, prefix);
+  const Status status = (*tracker)->ProcessStream(stream);
+  if (!status.ok()) {
+    return Status(status.code(),
+                  "sequential replay: " + status.message());
   }
   return tracker;
 }
+
+namespace {
+
+/// Drains `tracker` into a materialized result — the sequential halves
+/// of both the prefix and the streaming paths end here.
+ShardedReplayResult MaterializeTracker(Tracker& tracker, size_t num_vertices,
+                                       size_t interactions_replayed,
+                                       double replay_seconds) {
+  ShardedReplayResult result;
+  result.num_vertices = num_vertices;
+  result.interactions_replayed = interactions_replayed;
+  result.replay_seconds = replay_seconds;
+  result.totals.resize(num_vertices);
+  result.entries.resize(num_vertices);
+  for (VertexId v = 0; v < num_vertices; ++v) {
+    Buffer buffer = tracker.Provenance(v);
+    result.totals[v] = buffer.total;
+    result.num_entries += buffer.entries.size();
+    result.entries[v] = std::move(buffer.entries);
+  }
+  result.total_generated = tracker.total_generated();
+  return result;
+}
+
+}  // namespace
 
 StatusOr<ShardedReplayResult> ShardedReplayEngine::SequentialReplay(
     size_t prefix) const {
@@ -157,22 +202,24 @@ StatusOr<ShardedReplayResult> ShardedReplayEngine::SequentialReplay(
   auto replayed = SequentialTracker(prefix);
   if (!replayed.ok()) return replayed.status();
   const double replay_seconds = watch.ElapsedSeconds();
-  std::unique_ptr<Tracker> tracker = *std::move(replayed);
-  const size_t n = tin_->num_vertices();
-  ShardedReplayResult result;
-  result.num_vertices = n;
-  result.interactions_replayed = prefix;
-  result.replay_seconds = replay_seconds;
-  result.totals.resize(n);
-  result.entries.resize(n);
-  for (VertexId v = 0; v < n; ++v) {
-    Buffer buffer = tracker->Provenance(v);
-    result.totals[v] = buffer.total;
-    result.num_entries += buffer.entries.size();
-    result.entries[v] = std::move(buffer.entries);
+  return MaterializeTracker(**replayed, tin_->num_vertices(), prefix,
+                            replay_seconds);
+}
+
+StatusOr<ShardedReplayResult> ShardedReplayEngine::SequentialStreamReplay(
+    InteractionStream& stream) const {
+  auto tracker = MakeSequentialTracker();
+  if (!tracker.ok()) return tracker.status();
+  Stopwatch watch;
+  StreamIngestor ingestor(tracker->get());
+  const Status status = ingestor.IngestAll(stream);
+  if (!status.ok()) {
+    return Status(status.code(),
+                  "sequential stream replay: " + status.message());
   }
-  result.total_generated = tracker->total_generated();
-  return result;
+  return MaterializeTracker(**tracker, stats_.num_vertices,
+                            ingestor.stats().interactions,
+                            watch.ElapsedSeconds());
 }
 
 bool ShardedReplayEngine::UsesShards(size_t* num_shards) const {
@@ -183,6 +230,51 @@ bool ShardedReplayEngine::UsesShards(size_t* num_shards) const {
   return spec_.decomposable && spec_.make_shard != nullptr && shards > 1;
 }
 
+void ShardedReplayEngine::PartitionLabels(ShardRun* run,
+                                          size_t num_shards) const {
+  const size_t label_count = spec_.label_count;
+  // Deterministic label partition, independent of threading. Only
+  // kActivity needs a log (to measure activity); in the Tin-free
+  // streaming form it falls back to round-robin while the other
+  // strategies apply unchanged.
+  std::vector<GroupId> assignment;
+  if (tin_ != nullptr) {
+    assignment =
+        AssignLabels(*tin_, params_.strategy, label_count, num_shards);
+  } else {
+    switch (params_.strategy) {
+      case ShardStrategy::kHash:
+        assignment = HashGroups(label_count, num_shards);
+        break;
+      case ShardStrategy::kContiguous:
+        assignment = ContiguousGroups(label_count, num_shards);
+        break;
+      case ShardStrategy::kRoundRobin:
+      case ShardStrategy::kActivity:
+        assignment = RoundRobinGroups(label_count, num_shards);
+        break;
+    }
+  }
+  run->masks.assign(num_shards, std::vector<uint8_t>(label_count, 0));
+  run->labels_per_shard.assign(num_shards, 0);
+  for (size_t label = 0; label < label_count; ++label) {
+    const GroupId shard = assignment[label];
+    run->masks[shard][label] = 1;
+    ++run->labels_per_shard[shard];
+  }
+}
+
+void ShardedReplayEngine::ReserveShard(SparseProportionalBase* tracker,
+                                       size_t expected_interactions,
+                                       size_t num_shards) {
+  if (expected_interactions == 0) return;  // unknown length: grow on demand
+  const size_t hint = std::min(expected_interactions,
+                               (size_t{8} << 20) / sizeof(ProvPair)) /
+                          num_shards +
+                      16;
+  tracker->ReserveEntries(hint);
+}
+
 StatusOr<ShardedReplayEngine::ShardRun> ShardedReplayEngine::RunShards(
     size_t prefix, size_t num_shards) const {
   const size_t threads = ResolvedThreads();
@@ -190,26 +282,13 @@ StatusOr<ShardedReplayEngine::ShardRun> ShardedReplayEngine::RunShards(
   ShardRun run;
   run.num_shards = num_shards;
   run.num_threads = std::min(threads, num_shards);
-
-  // Phase 0: deterministic label partition, independent of threading.
-  const std::vector<GroupId> assignment =
-      AssignLabels(*tin_, params_.strategy, label_count, num_shards);
-  run.masks.assign(num_shards, std::vector<uint8_t>(label_count, 0));
-  run.labels_per_shard.assign(num_shards, 0);
-  for (size_t label = 0; label < label_count; ++label) {
-    const GroupId shard = assignment[label];
-    run.masks[shard][label] = 1;
-    ++run.labels_per_shard[shard];
-  }
+  PartitionLabels(&run, num_shards);
 
   // Phase 1: every shard replays the full prefix over its label slice.
   run.trackers.resize(num_shards);
   run.seconds.assign(num_shards, 0.0);
   std::vector<Status> statuses(num_shards, Status::Ok());
   const auto& log = tin_->interactions();
-  const size_t hint =
-      std::min(prefix, (size_t{8} << 20) / sizeof(ProvPair)) / num_shards +
-      16;
   RunSelfScheduled(num_shards, threads, [&](size_t s) {
     Stopwatch watch;
     std::unique_ptr<SparseProportionalBase> tracker = spec_.make_shard();
@@ -218,7 +297,7 @@ StatusOr<ShardedReplayEngine::ShardRun> ShardedReplayEngine::RunShards(
       return;
     }
     tracker->RestrictLabels(run.masks[s].data(), label_count);
-    tracker->ReserveEntries(hint);
+    ReserveShard(tracker.get(), prefix, num_shards);
     for (size_t i = 0; i < prefix; ++i) {
       const Status status = tracker->Process(log[i]);
       if (!status.ok()) {
@@ -250,29 +329,217 @@ StatusOr<ShardedReplayEngine::ShardRun> ShardedReplayEngine::RunShards(
   return run;
 }
 
-StatusOr<ShardedReplayResult> ShardedReplayEngine::ReplayPrefix(
-    size_t prefix) const {
-  prefix = std::min(prefix, tin_->num_interactions());
-  size_t shards = 0;
-  if (!UsesShards(&shards)) {
-    return SequentialReplay(prefix);
-  }
-  Stopwatch watch;
-  auto executed = RunShards(prefix, shards);
-  if (!executed.ok()) return executed.status();
-  const double replay_seconds = watch.ElapsedSeconds();
-  ShardRun& run = *executed;
-  const auto& trackers = run.trackers;
-  const size_t threads = ResolvedThreads();
+StatusOr<ShardedReplayEngine::ShardRun> ShardedReplayEngine::RunShardsStream(
+    InteractionStream& stream, size_t num_shards,
+    size_t* interactions) const {
+  const size_t label_count = spec_.label_count;
+  ShardRun run;
+  run.num_shards = num_shards;
+  const size_t num_workers = std::min(ResolvedThreads(), num_shards);
+  run.num_threads = num_workers;
+  PartitionLabels(&run, num_shards);
 
-  const size_t n = tin_->num_vertices();
+  // Shard trackers are built up front on the caller (construction is
+  // O(|V|), not worth parallelizing) and pre-sized from whatever length
+  // the stream advertises.
+  run.trackers.resize(num_shards);
+  run.seconds.assign(num_shards, 0.0);
+  const DatasetStats advertised = stream.Stats();
+  for (size_t s = 0; s < num_shards; ++s) {
+    run.trackers[s] = spec_.make_shard();
+    if (run.trackers[s] == nullptr) {
+      return Status::Internal("shard tracker factory returned null");
+    }
+    run.trackers[s]->RestrictLabels(run.masks[s].data(), label_count);
+    ReserveShard(run.trackers[s].get(), advertised.num_interactions,
+                 num_shards);
+  }
+
+  const size_t chunk_capacity = std::max<size_t>(1, params_.stream_chunk);
+
+  // Applies one chunk to one shard. Only the owning worker ever touches
+  // a shard's tracker or seconds slot, so no synchronization is needed
+  // beyond the queue hand-off.
+  const auto feed = [&run](size_t s,
+                           const std::vector<Interaction>& chunk) -> Status {
+    Stopwatch watch;
+    for (const Interaction& interaction : chunk) {
+      const Status status = run.trackers[s]->Process(interaction);
+      if (!status.ok()) {
+        return Status(status.code(), "shard " + std::to_string(s) +
+                                         " stream replay: " +
+                                         status.message());
+      }
+    }
+    run.seconds[s] += watch.ElapsedSeconds();
+    return Status::Ok();
+  };
+
+  // The producer (calling thread) is the only one that touches the
+  // stream; it also enforces the time-order contract the trackers rely
+  // on, exactly as StreamIngestor does.
+  Timestamp watermark = std::numeric_limits<Timestamp>::lowest();
+  size_t pulled_total = 0;
+  const auto pull_chunk = [&](std::vector<Interaction>* chunk) -> Status {
+    chunk->clear();
+    Interaction interaction;
+    while (chunk->size() < chunk_capacity && stream.Next(&interaction)) {
+      if (interaction.t < watermark) {
+        return Status::InvalidArgument(
+            "stream interaction " +
+            std::to_string(pulled_total + chunk->size()) +
+            " has timestamp below the watermark — wrap the source in a "
+            "SortingStream");
+      }
+      watermark = interaction.t;
+      chunk->push_back(interaction);
+    }
+    pulled_total += chunk->size();
+    return Status::Ok();
+  };
+
+#if defined(TINPROV_NO_THREADS)
+  const bool inline_path = true;
+#else
+  const bool inline_path = num_workers <= 1;
+#endif
+  if (inline_path) {
+    // Single worker: no queue, just alternate pull and broadcast. Same
+    // per-shard op sequence as the threaded path, so same results.
+    std::vector<Interaction> chunk;
+    for (;;) {
+      Status status = pull_chunk(&chunk);
+      if (!status.ok()) return status;
+      if (chunk.empty()) break;
+      for (size_t s = 0; s < num_shards; ++s) {
+        status = feed(s, chunk);
+        if (!status.ok()) return status;
+      }
+      if (chunk.size() < chunk_capacity) break;
+    }
+  }
+#if !defined(TINPROV_NO_THREADS)
+  else {
+    // Bounded broadcast queue: the producer appends shared chunks, each
+    // worker consumes every chunk in order for the shards it owns
+    // (shard s belongs to worker s % num_workers), and fully consumed
+    // chunks are popped. The queue holds at most stream_queue_chunks
+    // chunks and each worker can pin one popped chunk it is still
+    // processing, so live buffering never exceeds
+    // (stream_queue_chunks + num_workers) * stream_chunk interactions.
+    const size_t max_chunks = std::max<size_t>(1, params_.stream_queue_chunks);
+    std::mutex mu;
+    std::condition_variable producer_cv, consumer_cv;
+    std::deque<std::shared_ptr<const std::vector<Interaction>>> chunks;
+    size_t base = 0;  // global index of chunks.front()
+    std::vector<size_t> cursor(num_workers, 0);
+    bool done = false;
+    bool abort = false;
+    std::vector<Status> worker_status(num_workers, Status::Ok());
+
+    const auto worker_main = [&](size_t w) {
+      for (;;) {
+        std::shared_ptr<const std::vector<Interaction>> chunk;
+        {
+          std::unique_lock<std::mutex> lock(mu);
+          consumer_cv.wait(lock, [&] {
+            return abort || done || cursor[w] < base + chunks.size();
+          });
+          if (abort) return;
+          if (cursor[w] == base + chunks.size()) return;  // done and drained
+          chunk = chunks[cursor[w] - base];
+          ++cursor[w];
+        }
+        producer_cv.notify_one();
+        Status status = Status::Ok();
+        for (size_t s = w; s < num_shards && status.ok(); s += num_workers) {
+          status = feed(s, *chunk);
+        }
+        if (!status.ok()) {
+          std::lock_guard<std::mutex> lock(mu);
+          worker_status[w] = std::move(status);
+          abort = true;
+          producer_cv.notify_all();
+          consumer_cv.notify_all();
+          return;
+        }
+      }
+    };
+    std::vector<std::thread> workers;
+    workers.reserve(num_workers);
+    for (size_t w = 0; w < num_workers; ++w) {
+      workers.emplace_back(worker_main, w);
+    }
+
+    Status producer_status = Status::Ok();
+    std::vector<Interaction> scratch;
+    for (;;) {
+      const Status status = pull_chunk(&scratch);
+      if (!status.ok()) {
+        producer_status = status;
+        break;
+      }
+      if (scratch.empty()) break;
+      const bool exhausted = scratch.size() < chunk_capacity;
+      auto chunk = std::make_shared<const std::vector<Interaction>>(
+          std::move(scratch));
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        for (;;) {
+          while (!chunks.empty() &&
+                 *std::min_element(cursor.begin(), cursor.end()) > base) {
+            chunks.pop_front();
+            ++base;
+          }
+          if (abort || chunks.size() < max_chunks) break;
+          producer_cv.wait(lock);
+        }
+        if (abort) break;
+        chunks.push_back(std::move(chunk));
+      }
+      consumer_cv.notify_all();
+      if (exhausted) break;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      done = true;
+    }
+    consumer_cv.notify_all();
+    for (std::thread& worker : workers) worker.join();
+    if (!producer_status.ok()) return producer_status;
+    for (const Status& status : worker_status) {
+      if (!status.ok()) return status;
+    }
+  }
+#endif
+
+  // Same label-linearity witness as the materialized path.
+  for (size_t s = 1; s < num_shards; ++s) {
+    if (run.trackers[s]->total_generated() !=
+        run.trackers[0]->total_generated()) {
+      return Status::Internal(
+          "shard " + std::to_string(s) +
+          " diverged from shard 0 — tracker is not label-decomposable");
+    }
+  }
+  *interactions = pulled_total;
+  return run;
+}
+
+ShardedReplayResult ShardedReplayEngine::AssembleResult(
+    const ShardRun& run, size_t interactions_replayed,
+    double replay_seconds) const {
+  const auto& trackers = run.trackers;
+  const size_t shards = run.num_shards;
+  const size_t threads = ResolvedThreads();
+  const size_t n = stats_.num_vertices;
   ShardedReplayResult result;
   result.num_vertices = n;
-  result.interactions_replayed = prefix;
+  result.interactions_replayed = interactions_replayed;
   result.replay_seconds = replay_seconds;
   result.used_parallel_path = true;
   result.num_shards = shards;
-  result.num_threads = std::min(threads, shards);
+  result.num_threads = run.num_threads;
   result.totals.resize(n);
   result.entries.resize(n);
   result.total_generated = trackers[0]->total_generated();
@@ -305,8 +572,42 @@ StatusOr<ShardedReplayResult> ShardedReplayEngine::ReplayPrefix(
   return result;
 }
 
+StatusOr<ShardedReplayResult> ShardedReplayEngine::ReplayPrefix(
+    size_t prefix) const {
+  if (tin_ == nullptr) {
+    return Status::FailedPrecondition(
+        "engine was built without a materialized log — use ReplayStream");
+  }
+  prefix = std::min(prefix, tin_->num_interactions());
+  size_t shards = 0;
+  if (!UsesShards(&shards)) {
+    return SequentialReplay(prefix);
+  }
+  Stopwatch watch;
+  auto executed = RunShards(prefix, shards);
+  if (!executed.ok()) return executed.status();
+  return AssembleResult(*executed, prefix, watch.ElapsedSeconds());
+}
+
+StatusOr<ShardedReplayResult> ShardedReplayEngine::ReplayStream(
+    InteractionStream& stream) const {
+  size_t shards = 0;
+  if (!UsesShards(&shards)) {
+    return SequentialStreamReplay(stream);
+  }
+  Stopwatch watch;
+  size_t interactions = 0;
+  auto executed = RunShardsStream(stream, shards, &interactions);
+  if (!executed.ok()) return executed.status();
+  return AssembleResult(*executed, interactions, watch.ElapsedSeconds());
+}
+
 StatusOr<Buffer> ShardedReplayEngine::QueryPrefix(VertexId v,
                                                   size_t prefix) const {
+  if (tin_ == nullptr) {
+    return Status::FailedPrecondition(
+        "engine was built without a materialized log — use ReplayStream");
+  }
   if (v >= tin_->num_vertices()) {
     return Status::InvalidArgument("query vertex " + std::to_string(v) +
                                    " out of range");

@@ -33,6 +33,13 @@
 // e.g. an activity-skewed label partition — keep all threads busy.
 // Each shard tracker owns its own arena-backed pool; no state is
 // shared between workers until the join.
+//
+// Two input modes share the engine: the materialized mode above (every
+// shard re-scans the immutable log) and a streaming mode (ReplayStream)
+// where a single pass of an InteractionStream is broadcast to the
+// shards chunk by chunk through a bounded queue — same math, same
+// bit-identical results, but the log is never materialized and
+// buffering stays constant.
 #ifndef TINPROV_PARALLEL_SHARDED_REPLAY_H_
 #define TINPROV_PARALLEL_SHARDED_REPLAY_H_
 
@@ -50,6 +57,8 @@
 #include "util/status.h"
 
 namespace tinprov {
+
+class InteractionStream;  // stream/interaction_stream.h
 
 /// How the generation-label space is partitioned into shards. These are
 /// exactly the GroupedTracker assignment strategies (scalable/grouped.h)
@@ -71,6 +80,14 @@ struct ParallelParams {
   /// clamped to the label-space size.
   size_t num_shards = 0;
   ShardStrategy strategy = ShardStrategy::kActivity;
+  /// Streaming replay (ReplayStream) only: interactions per broadcast
+  /// chunk, and the bound on undrained chunks the producer queue may
+  /// hold. Each worker can additionally pin one in-flight chunk it is
+  /// processing after the queue popped it, so total pipeline buffering
+  /// is bounded by (stream_queue_chunks + workers) * stream_chunk
+  /// interactions — a constant, independent of stream length.
+  size_t stream_chunk = 4096;
+  size_t stream_queue_chunks = 8;
 };
 
 /// Builds a fresh, identically configured pro-rata tracker; the engine
@@ -134,8 +151,28 @@ class ShardedReplayEngine {
   ShardedReplayEngine(const Tin& tin, ShardedSpec spec,
                       ParallelParams params = {});
 
+  /// Tin-free streaming form: the engine knows only the dataset shape.
+  /// ReplayStream is the sole replay entry point — the materialized
+  /// ones below need a log to (re-)scan and return FailedPrecondition —
+  /// and the kActivity strategy falls back to round-robin, since
+  /// activity balancing needs a log to measure.
+  ShardedReplayEngine(const DatasetStats& stats, ShardedSpec spec,
+                      ParallelParams params = {});
+
   /// Replays the whole log.
   StatusOr<ShardedReplayResult> Replay() const;
+
+  /// Single-pass streaming replay: drains `stream` once, broadcasting
+  /// fixed-size chunks to every shard through a bounded queue (the
+  /// calling thread is the producer; shard workers consume each chunk
+  /// in order). Every shard still sees every interaction, so the result
+  /// is bit-identical to Replay() over the materialized equivalent —
+  /// but the log is never materialized and pipeline buffering stays
+  /// bounded by (stream_queue_chunks + workers) chunks. Enforces
+  /// non-decreasing timestamps like StreamIngestor. Non-decomposable
+  /// specs (or a single shard) drain the stream through the sequential
+  /// tracker instead, same result.
+  StatusOr<ShardedReplayResult> ReplayStream(InteractionStream& stream) const;
 
   /// Replays the first min(prefix, log length) interactions — the
   /// historical-prefix shape shared with the lazy engine.
@@ -172,11 +209,30 @@ class ShardedReplayEngine {
   /// True when this spec/params combination shards at all; false means
   /// callers should take their sequential path.
   bool UsesShards(size_t* num_shards) const;
+  /// Label partition + masks for `num_shards` (phase 0), shared by the
+  /// materialized and streaming paths.
+  void PartitionLabels(ShardRun* run, size_t num_shards) const;
+  /// Per-shard entry pre-sizing from an expected interaction count
+  /// (0 = unknown, no reservation).
+  static void ReserveShard(SparseProportionalBase* tracker,
+                           size_t expected_interactions, size_t num_shards);
   StatusOr<ShardRun> RunShards(size_t prefix, size_t num_shards) const;
+  StatusOr<ShardRun> RunShardsStream(InteractionStream& stream,
+                                     size_t num_shards,
+                                     size_t* interactions) const;
+  /// Phase 2 (exchange) + result bookkeeping, shared by ReplayPrefix
+  /// and ReplayStream.
+  ShardedReplayResult AssembleResult(const ShardRun& run,
+                                     size_t interactions_replayed,
+                                     double replay_seconds) const;
   StatusOr<ShardedReplayResult> SequentialReplay(size_t prefix) const;
+  StatusOr<ShardedReplayResult> SequentialStreamReplay(
+      InteractionStream& stream) const;
   StatusOr<std::unique_ptr<Tracker>> SequentialTracker(size_t prefix) const;
+  StatusOr<std::unique_ptr<Tracker>> MakeSequentialTracker() const;
 
-  const Tin* tin_;
+  const Tin* tin_;  // null in the streaming-only form
+  DatasetStats stats_;
   ShardedSpec spec_;
   ParallelParams params_;
 };

@@ -162,13 +162,15 @@ void SparseProportionalBase::ReserveEntries(size_t count) {
   pool_.Reserve(count * sizeof(ProvPair));
 }
 
-void SparseProportionalBase::ReserveHint(const Tin& tin) {
+void SparseProportionalBase::ReserveHint(const DatasetStats& stats) {
   // Every interaction adds at most one brand-new tuple (merges only
   // copy existing origins between lists), so standing tuples are
   // bounded by the stream length; a soft cap keeps a mis-scaled hint
-  // from pinning memory, since the arena grows on demand anyway.
+  // from pinning memory, since the arena grows on demand anyway. An
+  // unknown stream length (0) reserves nothing — open-ended streams
+  // grow the arena on demand.
   constexpr size_t kMaxHintEntries = (size_t{8} << 20) / sizeof(ProvPair);
-  ReserveEntries(std::min(tin.num_interactions(), kMaxHintEntries));
+  ReserveEntries(std::min(stats.num_interactions, kMaxHintEntries));
 }
 
 void SparseProportionalBase::SaveStateBody(ByteWriter* writer) const {

@@ -54,7 +54,8 @@ class SparseProportionalBase : public Tracker {
   double BufferTotal(VertexId v) const override { return totals_[v]; }
   Buffer Provenance(VertexId v) const override;
   size_t MemoryUsage() const override;
-  void ReserveHint(const Tin& tin) override;
+  using Tracker::ReserveHint;  // keep the Tin convenience form visible
+  void ReserveHint(const DatasetStats& stats) override;
 
   /// Provenance tuples currently stored across all vertices.
   size_t num_entries() const { return num_entries_; }

@@ -7,6 +7,7 @@
 #include "policies/proportional_dense.h"
 #include "policies/proportional_sparse.h"
 #include "policies/receipt_order.h"
+#include "stream/interaction_stream.h"
 #include "util/strings.h"
 
 namespace tinprov {
@@ -69,13 +70,25 @@ Status Tracker::RestoreState(const uint8_t* data, size_t size) {
   return Status::Ok();
 }
 
-Status Tracker::ProcessAll(const Tin& tin) {
-  ReserveHint(tin);
-  for (const Interaction& interaction : tin.interactions()) {
+Status Tracker::ProcessStream(InteractionStream& stream) {
+  ReserveHint(stream.Stats());
+  Interaction interaction;
+  size_t index = 0;
+  while (stream.Next(&interaction)) {
     const Status status = Process(interaction);
-    if (!status.ok()) return status;
+    if (!status.ok()) {
+      return Status(status.code(), "stream interaction " +
+                                       std::to_string(index) + ": " +
+                                       status.message());
+    }
+    ++index;
   }
   return Status::Ok();
+}
+
+Status Tracker::ProcessAll(const Tin& tin) {
+  MaterializedStream stream(tin);
+  return ProcessStream(stream);
 }
 
 StatusOr<double> Tracker::CheckAndComputeDeficit(

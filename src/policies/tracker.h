@@ -25,6 +25,8 @@
 
 namespace tinprov {
 
+class InteractionStream;  // stream/interaction_stream.h
+
 enum class PolicyKind {
   kNoProvenance,        // scalar balances only — the runtime baseline
   kLifo,                // receipt order, last-received spent first
@@ -54,18 +56,30 @@ class Tracker {
   Tracker& operator=(const Tracker&) = delete;
 
   /// Applies one interaction. Interactions must be fed in time order
-  /// (ProcessAll guarantees this; manual callers are on their own).
+  /// (ProcessStream/ProcessAll guarantee this; manual callers are on
+  /// their own).
   virtual Status Process(const Interaction& interaction) = 0;
 
-  /// Replays the whole log in time order. Calls ReserveHint(tin) first
-  /// so standing allocations are sized once instead of grown in-loop.
+  /// The primary entry point: pulls `stream` dry, applying every
+  /// interaction in arrival order. Calls ReserveHint(stream.Stats())
+  /// first so standing allocations are sized once instead of grown
+  /// in-loop. The stream must be in time order (stream/ingest.h's
+  /// StreamIngestor enforces that and adds watermark/stat tracking).
+  Status ProcessStream(InteractionStream& stream);
+
+  /// Replays a materialized log: a thin MaterializedStream wrapper
+  /// around ProcessStream, kept for callers that hold a Tin anyway.
   Status ProcessAll(const Tin& tin);
 
-  /// Capacity hint: the tracker is about to replay (a prefix of) `tin`
-  /// and may pre-size its allocations from the dataset's shape. Purely
-  /// an optimization — never affects results — and safe to skip or to
-  /// call more than once. The default does nothing.
-  virtual void ReserveHint(const Tin& tin) { (void)tin; }
+  /// Capacity hint: the tracker is about to replay a dataset of this
+  /// shape and may pre-size its allocations. Purely an optimization —
+  /// never affects results — and safe to skip, to call more than once,
+  /// or to call with num_interactions == 0 (unknown stream length). The
+  /// default does nothing.
+  virtual void ReserveHint(const DatasetStats& stats) { (void)stats; }
+
+  /// Materialized-log form, routed through the stats overload.
+  void ReserveHint(const Tin& tin) { ReserveHint(tin.Stats()); }
 
   /// Buffered quantity at `v`.
   virtual double BufferTotal(VertexId v) const = 0;

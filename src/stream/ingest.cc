@@ -1,0 +1,75 @@
+#include "stream/ingest.h"
+
+#include <algorithm>
+#include <string>
+
+#include "util/stopwatch.h"
+
+namespace tinprov {
+
+StreamIngestor::StreamIngestor(Tracker* tracker, IngestOptions options)
+    : tracker_(tracker), options_(options) {
+  if (options_.batch_size == 0) options_.batch_size = 1;
+  batch_.reserve(options_.batch_size);
+}
+
+Status StreamIngestor::IngestBatch(InteractionStream& stream, bool* done) {
+  Stopwatch watch;
+  if (!reserved_) {
+    reserved_ = true;
+    if (options_.reserve_from_stats) tracker_->ReserveHint(stream.Stats());
+  }
+
+  batch_.clear();
+  Interaction interaction;
+  while (batch_.size() < options_.batch_size && stream.Next(&interaction)) {
+    if (options_.enforce_time_order && interaction.t < pull_watermark_) {
+      return Status::InvalidArgument(
+          "stream interaction " +
+          std::to_string(stats_.interactions + batch_.size()) +
+          " has timestamp " + std::to_string(interaction.t) +
+          " below the watermark " + std::to_string(pull_watermark_) +
+          " — wrap the source in a SortingStream");
+    }
+    // The pull-side watermark advances immediately so the order check
+    // also covers disorder *within* this batch; the published
+    // stats_.watermark only moves once the batch has been applied, so
+    // it never claims state that a failed Process() left unbuilt.
+    pull_watermark_ = std::max(pull_watermark_, interaction.t);
+    batch_.push_back(interaction);
+  }
+  *done = batch_.size() < options_.batch_size;
+  if (batch_.empty()) {
+    stats_.seconds += watch.ElapsedSeconds();
+    return Status::Ok();
+  }
+
+  stats_.peak_batch = std::max(stats_.peak_batch, batch_.size());
+  for (size_t i = 0; i < batch_.size(); ++i) {
+    const Status status = tracker_->Process(batch_[i]);
+    if (!status.ok()) {
+      return Status(status.code(),
+                    "ingest at interaction " +
+                        std::to_string(stats_.interactions + i) + ": " +
+                        status.message());
+    }
+  }
+  stats_.interactions += batch_.size();
+  ++stats_.batches;
+  stats_.watermark = std::max(stats_.watermark, batch_.back().t);
+  stats_.tracker_peak_memory =
+      std::max(stats_.tracker_peak_memory, tracker_->MemoryUsage());
+  stats_.seconds += watch.ElapsedSeconds();
+  return Status::Ok();
+}
+
+Status StreamIngestor::IngestAll(InteractionStream& stream) {
+  bool done = false;
+  while (!done) {
+    const Status status = IngestBatch(stream, &done);
+    if (!status.ok()) return status;
+  }
+  return Status::Ok();
+}
+
+}  // namespace tinprov

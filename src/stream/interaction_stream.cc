@@ -1,0 +1,34 @@
+#include "stream/interaction_stream.h"
+
+#include <algorithm>
+
+namespace tinprov {
+
+StatusOr<GeneratorStream> GeneratorStream::Create(
+    const GeneratorConfig& config) {
+  auto emitter = InteractionEmitter::Create(config);
+  if (!emitter.ok()) return emitter.status();
+  return GeneratorStream(*std::move(emitter));
+}
+
+bool SortingStream::Next(Interaction* out) {
+  // Keep the reorder buffer at window_ + 1 pending elements: any input
+  // element displaced by at most window_ positions is still in the heap
+  // when its turn comes, so it is emitted in correct time order.
+  Interaction pulled;
+  while (!inner_done_ && heap_.size() <= window_) {
+    if (inner_->Next(&pulled)) {
+      heap_.push_back({pulled, next_arrival_++});
+      std::push_heap(heap_.begin(), heap_.end(), Later);
+    } else {
+      inner_done_ = true;
+    }
+  }
+  if (heap_.empty()) return false;
+  std::pop_heap(heap_.begin(), heap_.end(), Later);
+  *out = heap_.back().interaction;
+  heap_.pop_back();
+  return true;
+}
+
+}  // namespace tinprov

@@ -1,0 +1,179 @@
+// Pull-based interaction streams: the engine's ingestion contract.
+//
+// Every layer used to assume a fully materialized Tin — an assumption
+// that caps dataset size at RAM and is backwards for the paper's
+// setting, where interactions *arrive* in time order. InteractionStream
+// inverts that: a consumer (Tracker::ProcessStream, StreamIngestor, the
+// streaming engines) pulls interactions one at a time and never learns
+// whether they come from a materialized log (MaterializedStream), a
+// plain vector (VectorStream), a synthetic source that emits them on
+// the fly without ever holding the log (GeneratorStream), or a
+// bounded-reorder repair buffer over near-in-order input
+// (SortingStream). Streams are single-pass: construct a fresh one to
+// read again. Results are bit-identical between the materialized and
+// streaming paths because consumers see the identical interaction
+// sequence either way (tests/test_stream.cc holds the proof).
+#ifndef TINPROV_STREAM_INTERACTION_STREAM_H_
+#define TINPROV_STREAM_INTERACTION_STREAM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "core/tin.h"
+#include "core/types.h"
+#include "datagen/generator.h"
+#include "util/status.h"
+
+namespace tinprov {
+
+class InteractionStream {
+ public:
+  virtual ~InteractionStream() = default;
+
+  /// Pulls the next interaction into `*out`. Returns false at end of
+  /// stream (then `*out` is untouched and every further call returns
+  /// false). Well-formed streams emit in non-decreasing timestamp
+  /// order; StreamIngestor enforces that, raw ProcessStream trusts it.
+  virtual bool Next(Interaction* out) = 0;
+
+  /// What the stream knows about its shape up front, for ReserveHint
+  /// pre-sizing. num_interactions == 0 means unknown length; the value
+  /// is a hint and may differ from what Next() actually yields.
+  virtual DatasetStats Stats() const = 0;
+};
+
+/// A (prefix of a) materialized log as a stream — the bridge that turns
+/// every Tin consumer into a stream consumer. Borrows `tin`.
+class MaterializedStream : public InteractionStream {
+ public:
+  explicit MaterializedStream(const Tin& tin)
+      : MaterializedStream(tin, tin.num_interactions()) {}
+
+  /// Streams only the first min(prefix, log length) interactions — the
+  /// historical-prefix shape shared with the lazy engines.
+  MaterializedStream(const Tin& tin, size_t prefix)
+      : tin_(&tin),
+        limit_(prefix < tin.num_interactions() ? prefix
+                                               : tin.num_interactions()) {}
+
+  bool Next(Interaction* out) override {
+    if (cursor_ >= limit_) return false;
+    *out = tin_->interactions()[cursor_++];
+    return true;
+  }
+
+  DatasetStats Stats() const override {
+    return {tin_->num_vertices(), limit_};
+  }
+
+ private:
+  const Tin* tin_;
+  size_t limit_;
+  size_t cursor_ = 0;
+};
+
+/// A plain interaction vector as a stream, in the order given (no
+/// sorting — that is SortingStream's job, or the caller's). Mostly a
+/// test and adapter convenience.
+class VectorStream : public InteractionStream {
+ public:
+  VectorStream(size_t num_vertices, std::vector<Interaction> interactions)
+      : num_vertices_(num_vertices), interactions_(std::move(interactions)) {}
+
+  bool Next(Interaction* out) override {
+    if (cursor_ >= interactions_.size()) return false;
+    *out = interactions_[cursor_++];
+    return true;
+  }
+
+  DatasetStats Stats() const override {
+    return {num_vertices_, interactions_.size()};
+  }
+
+ private:
+  size_t num_vertices_;
+  std::vector<Interaction> interactions_;
+  size_t cursor_ = 0;
+};
+
+/// Streams a synthetic dataset straight from the seeded generator,
+/// emitting each interaction as it is drawn — the whole log is never
+/// materialized, so peak pipeline memory is independent of
+/// num_interactions (bench_stream asserts this). Emits the exact
+/// sequence datagen::Generate(config) would put into a Tin: the
+/// generator draws timestamps in non-decreasing order, so no sort is
+/// needed and the streaming and materialized paths stay bit-identical.
+class GeneratorStream : public InteractionStream {
+ public:
+  /// An exhausted stream — the empty state StatusOr needs. Create() is
+  /// the real entry point.
+  GeneratorStream() = default;
+
+  /// Fails on the same configs Generate() rejects.
+  static StatusOr<GeneratorStream> Create(const GeneratorConfig& config);
+
+  bool Next(Interaction* out) override {
+    if (emitter_.Done()) return false;
+    *out = emitter_.Next();
+    return true;
+  }
+
+  DatasetStats Stats() const override {
+    return {emitter_.config().num_vertices,
+            emitter_.config().num_interactions};
+  }
+
+ private:
+  explicit GeneratorStream(InteractionEmitter emitter)
+      : emitter_(std::move(emitter)) {}
+
+  InteractionEmitter emitter_;
+};
+
+/// Repairs near-in-order input with a bounded reorder buffer: a min-heap
+/// of up to `window + 1` pending interactions ordered by (timestamp,
+/// arrival), so any element that arrives at most `window` positions
+/// after one it should precede is emitted in correct time order. The
+/// arrival tie-break makes equal timestamps keep their input order (the
+/// same stability Tin's sort guarantees). A window that is too small
+/// for the input's disorder degrades gracefully: the output is the
+/// best-effort reordering, not an error — feed it to StreamIngestor,
+/// whose watermark check catches the residual disorder. window == 0
+/// passes the inner stream through unchanged. Owns `inner`.
+class SortingStream : public InteractionStream {
+ public:
+  SortingStream(std::unique_ptr<InteractionStream> inner, size_t window)
+      : inner_(std::move(inner)), window_(window) {}
+
+  bool Next(Interaction* out) override;
+
+  DatasetStats Stats() const override { return inner_->Stats(); }
+
+ private:
+  struct Pending {
+    Interaction interaction;
+    uint64_t arrival = 0;
+  };
+
+  // Min-heap comparator via std::push_heap/pop_heap (max-heap idiom, so
+  // the comparison is inverted): earliest (t, arrival) on top.
+  static bool Later(const Pending& a, const Pending& b) {
+    if (a.interaction.t != b.interaction.t) {
+      return a.interaction.t > b.interaction.t;
+    }
+    return a.arrival > b.arrival;
+  }
+
+  std::unique_ptr<InteractionStream> inner_;
+  size_t window_;
+  std::vector<Pending> heap_;
+  uint64_t next_arrival_ = 0;
+  bool inner_done_ = false;
+};
+
+}  // namespace tinprov
+
+#endif  // TINPROV_STREAM_INTERACTION_STREAM_H_
