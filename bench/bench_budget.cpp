@@ -18,6 +18,8 @@ int main() {
                      "Budget-based provenance: cost and shrink statistics "
                      "vs capacity C");
 
+  bench::JsonBenchReporter reporter("bench_budget");
+
   const std::vector<size_t> capacities = {10, 50, 100, 200, 500, 1000};
   for (const DatasetKind dataset :
        {DatasetKind::kBitcoin, DatasetKind::kCtu, DatasetKind::kProsper}) {
@@ -36,6 +38,14 @@ int main() {
         return 1;
       }
       const ShrinkStats stats = tracker.ComputeShrinkStats();
+      reporter.Record(std::string(DatasetName(dataset)) + "/C=" +
+                          std::to_string(capacity),
+                      m->seconds,
+                      m->seconds > 0.0
+                          ? static_cast<double>(tin.num_interactions()) /
+                                m->seconds
+                          : 0.0,
+                      m->peak_memory);
       table.AddRow({std::to_string(capacity), FormatSeconds(m->seconds),
                     FormatBytes(m->peak_memory),
                     FormatCompact(stats.avg_shrinks, 2),

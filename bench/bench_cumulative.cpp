@@ -19,6 +19,8 @@ int main() {
   bench::PrintHeader(
       "Figure 6", "Cumulative cost of sparse proportional provenance");
 
+  bench::JsonBenchReporter reporter("bench_cumulative");
+
   for (const DatasetKind dataset :
        {DatasetKind::kBitcoin, DatasetKind::kCtu, DatasetKind::kProsper}) {
     const Tin tin = bench::MustMakeDataset(dataset, scale);
@@ -42,6 +44,13 @@ int main() {
                       FormatCompact(tracker.AverageListLength(), 2)});
       }
     }
+    reporter.Record(std::string(DatasetName(dataset)) + "/full_replay",
+                    watch.ElapsedSeconds(),
+                    watch.ElapsedSeconds() > 0.0
+                        ? static_cast<double>(stream.size()) /
+                              watch.ElapsedSeconds()
+                        : 0.0,
+                    tracker.MemoryUsage());
     std::printf("%s", table.ToString().c_str());
   }
   std::printf(

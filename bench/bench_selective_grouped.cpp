@@ -19,6 +19,8 @@ int main() {
   bench::PrintHeader("Figure 5",
                      "Selective & grouped proportional provenance vs k");
 
+  bench::JsonBenchReporter reporter("bench_selective_grouped");
+
   const std::vector<size_t> ks = {5, 20, 50, 100, 150, 200};
   for (const DatasetKind dataset :
        {DatasetKind::kBitcoin, DatasetKind::kCtu, DatasetKind::kProsper}) {
@@ -42,6 +44,11 @@ int main() {
         std::fprintf(stderr, "measurement failed\n");
         return 1;
       }
+      const std::string prefix = std::string(DatasetName(dataset));
+      reporter.Record(prefix + "/selective/k=" + std::to_string(k),
+                      sel->seconds, 0.0, sel->peak_memory);
+      reporter.Record(prefix + "/grouped/k=" + std::to_string(k),
+                      grp->seconds, 0.0, grp->peak_memory);
       table.AddRow({std::to_string(k), FormatSeconds(sel->seconds),
                     FormatBytes(sel->peak_memory), FormatSeconds(grp->seconds),
                     FormatBytes(grp->peak_memory)});

@@ -20,9 +20,31 @@
 #include <vector>
 
 #include "datagen/presets.h"
+#include "obs/export.h"
 #include "util/status.h"
 
 namespace tinprov::bench {
+
+/// The compiler that produced this binary, for the host-shape check in
+/// bench_compare.py (native vs portable and gcc vs clang codegen are
+/// not comparable runs).
+inline const char* CompilerVersion() {
+#if defined(__clang_version__)
+  return "clang " __clang_version__;
+#elif defined(__VERSION__)
+  return __VERSION__;
+#else
+  return "unknown";
+#endif
+}
+
+/// Whether the binary was built with TINPROV_NATIVE=ON (-march=native).
+inline constexpr bool kNativeBuild =
+#if defined(TINPROV_NATIVE_BUILD)
+    true;
+#else
+    false;
+#endif
 
 /// Scale factor from $TINPROV_SCALE, default 1.0.
 inline double GetScale() {
@@ -106,11 +128,15 @@ class JsonBenchReporter {
                  "    \"date\": \"%s\",\n"
                  "    \"executable\": \"%s\",\n"
                  "    \"num_cpus\": %u,\n"
+                 "    \"tinprov_native\": %s,\n"
+                 "    \"compiler\": \"%s\",\n"
                  "    \"tinprov_scale\": %g\n"
                  "  },\n"
                  "  \"benchmarks\": [\n",
                  date, Escaped(executable_).c_str(),
-                 std::thread::hardware_concurrency(), GetScale());
+                 std::thread::hardware_concurrency(),
+                 kNativeBuild ? "true" : "false",
+                 Escaped(CompilerVersion()).c_str(), GetScale());
     for (size_t i = 0; i < entries_.size(); ++i) {
       const Entry& e = entries_[i];
       std::fprintf(out,
@@ -134,7 +160,11 @@ class JsonBenchReporter {
       }
       std::fprintf(out, "\n    }%s\n", i + 1 < entries_.size() ? "," : "");
     }
-    std::fprintf(out, "  ]\n}\n");
+    // The engine-metrics snapshot rides along with the timings, so
+    // baseline JSONs answer "how many interactions / snapshots / bytes"
+    // and not just "how long".
+    std::fprintf(out, "  ],\n  \"metrics\": %s\n}\n",
+                 obs::MetricsJson().c_str());
     std::fclose(out);
     std::printf("wrote %zu benchmark records to %s\n", entries_.size(),
                 path_.c_str());

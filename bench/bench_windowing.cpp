@@ -40,6 +40,8 @@ int main() {
   const double scale = bench::GetScale();
   bench::PrintHeader("Figure 7", "Windowing approach: cost vs window size W");
 
+  bench::JsonBenchReporter reporter("bench_windowing");
+
   const std::vector<double> paper_windows = {2000, 4000, 8000, 12000, 16000};
   for (const DatasetKind dataset :
        {DatasetKind::kBitcoin, DatasetKind::kCtu, DatasetKind::kProsper}) {
@@ -61,6 +63,14 @@ int main() {
         std::fprintf(stderr, "measurement failed\n");
         return 1;
       }
+      reporter.Record(std::string(DatasetName(dataset)) + "/W=" +
+                          std::to_string(static_cast<size_t>(paper_w)),
+                      m->seconds,
+                      m->seconds > 0.0
+                          ? static_cast<double>(tin.num_interactions()) /
+                                m->seconds
+                          : 0.0,
+                      m->peak_memory);
       table.AddRow({std::to_string(static_cast<size_t>(paper_w)),
                     std::to_string(window), FormatSeconds(m->seconds),
                     FormatBytes(m->peak_memory),

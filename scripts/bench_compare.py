@@ -7,6 +7,13 @@ JsonBenchReporter emit the same shape: {"context": ..., "benchmarks":
 (file, name); a benchmark is flagged when its real_time grew by more
 than the threshold (default 25%).
 
+Files whose recorded host shape (context num_cpus / tinprov_native /
+compiler) differs between baseline and current are skipped with a
+warning: a baseline recorded on a 1-CPU box would otherwise read as a
+sharding regression on any wider machine, and native-vs-portable or
+cross-compiler codegen differences are not regressions either. Old
+baselines without those context fields compare as before.
+
 Usage: bench_compare.py BASELINE_DIR CURRENT_DIR [--threshold 0.25]
                         [--fail-on-regress]
 
@@ -24,8 +31,23 @@ import sys
 TIME_UNITS = {"ns": 1e-9, "us": 1e-6, "ms": 1e-3, "s": 1.0}
 
 
-def load_times(path):
-    """Returns {benchmark name: real_time in seconds}."""
+# Context fields that define the host shape; a mismatch in any of them
+# (when both sides recorded the field) makes timings incomparable.
+HOST_SHAPE_FIELDS = ("num_cpus", "tinprov_native", "compiler")
+
+
+def host_shape_mismatch(baseline_context, current_context):
+    """Returns the first (field, base, cur) whose values differ, else None."""
+    for field in HOST_SHAPE_FIELDS:
+        base = baseline_context.get(field)
+        cur = current_context.get(field)
+        if base is not None and cur is not None and base != cur:
+            return field, base, cur
+    return None
+
+
+def load_report(path):
+    """Returns ({benchmark name: real_time in seconds}, context dict)."""
     with open(path, "r", encoding="utf-8") as handle:
         data = json.load(handle)
     times = {}
@@ -37,7 +59,7 @@ def load_times(path):
         if name is None or real is None:
             continue
         times[name] = real * TIME_UNITS.get(bench.get("time_unit", "ns"), 1e-9)
-    return times
+    return times, data.get("context", {})
 
 
 def main():
@@ -62,10 +84,17 @@ def main():
             print(f"note: no baseline for {current_path.name}, skipping")
             continue
         try:
-            baseline = load_times(baseline_path)
-            current = load_times(current_path)
+            baseline, baseline_context = load_report(baseline_path)
+            current, current_context = load_report(current_path)
         except (OSError, json.JSONDecodeError) as error:
             print(f"warning: cannot compare {current_path.name}: {error}")
+            continue
+        mismatch = host_shape_mismatch(baseline_context, current_context)
+        if mismatch is not None:
+            field, base, cur = mismatch
+            print(f"warning: {current_path.name}: host shape differs "
+                  f"({field}: baseline {base!r} vs current {cur!r}), "
+                  f"skipping — re-record the baseline on this host")
             continue
         for name, base_time in sorted(baseline.items()):
             cur_time = current.get(name)

@@ -83,4 +83,45 @@ run_pinned 0.1 bench_parallel
 run_pinned 0.1 bench_stream
 run bench_micro --benchmark_min_time=0.01
 
+# Observability smoke: the obs unit tests guard the metrics/trace
+# exporters the trace check below depends on, so run them first when the
+# build has tests at all.
+if [[ -f "${BUILD_DIR}/CTestTestfile.cmake" ]]; then
+  echo "--- ctest -L obs"
+  ctest --test-dir "${BUILD_DIR}" -L obs --output-on-failure
+fi
+
+# Trace smoke: re-run bench_stream with TINPROV_TRACE set and verify the
+# exported chrome://tracing JSON parses and covers the ingest spans. The
+# shard-replay/exchange spans are only required when this machine can
+# actually take the parallel path — bench_stream uses hardware threads,
+# and a single-CPU box falls back to the sequential replay.
+TRACE_FILE="${TINPROV_TRACE_SMOKE_OUT:-$(mktemp /tmp/tinprov-trace.XXXXXX.json)}"
+if [[ -x "${BUILD_DIR}/bench/bench_stream" ]]; then
+  echo "--- trace smoke (TINPROV_TRACE=${TRACE_FILE})"
+  TINPROV_SCALE=0.1 TINPROV_TRACE="${TRACE_FILE}" \
+    "${BUILD_DIR}/bench/bench_stream" >>"${LOG_FILE}"
+  if [[ -s "${TRACE_FILE}" ]]; then
+    python3 - "${TRACE_FILE}" <<'PY'
+import json
+import os
+import sys
+
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+events = doc["traceEvents"]
+names = {e["name"] for e in events}
+assert events, "trace file has no events"
+assert "ingest.batch" in names, f"no ingest span in {sorted(names)}"
+if (os.cpu_count() or 1) > 1:
+    assert "replay.shard" in names, f"no shard span in {sorted(names)}"
+    assert "replay.exchange" in names, f"no exchange span in {sorted(names)}"
+print(f"    OK ({len(events)} events, {len(names)} span names)")
+PY
+  else
+    # A TINPROV_METRICS=OFF build never registers the atexit exporter.
+    echo "    skipped (no trace emitted — metrics disabled in this build?)"
+  fi
+fi
+
 echo "smoke: all registered benches completed"

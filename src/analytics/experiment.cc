@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "lazy/replay.h"
+#include "obs/trace.h"
 #include "policies/proportional_dense.h"
 #include "policies/proportional_sparse.h"
 #include "scalable/grouped.h"
@@ -25,6 +26,7 @@ StatusOr<Measurement> MeasureRun(Tracker* tracker, const Tin& tin,
   // cheap enough not to distort the timing.
   const size_t sample_every = std::max<size_t>(1, stream.size() / 64);
   size_t peak = tracker->MemoryUsage();
+  obs::TraceSpan span("analytics.measure_run", "analytics");
   Stopwatch watch;
   for (size_t i = 0; i < stream.size(); ++i) {
     const Status status = tracker->Process(stream[i]);
@@ -51,6 +53,7 @@ StatusOr<Measurement> MeasureStreamRun(Tracker* tracker,
   if (tracker == nullptr) {
     return Status::InvalidArgument("null tracker for " + label);
   }
+  obs::TraceSpan span("analytics.measure_stream_run", "analytics");
   StreamIngestor ingestor(tracker);
   const Status status = ingestor.IngestAll(stream);
   if (!status.ok()) {

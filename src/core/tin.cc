@@ -4,10 +4,14 @@
 #include <cassert>
 #include <unordered_set>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace tinprov {
 
 Tin::Tin(size_t num_vertices, std::vector<Interaction> interactions)
     : num_vertices_(num_vertices), interactions_(std::move(interactions)) {
+  obs::TraceSpan span("core.tin_build", "core");
   std::stable_sort(
       interactions_.begin(), interactions_.end(),
       [](const Interaction& a, const Interaction& b) { return a.t < b.t; });
@@ -39,6 +43,7 @@ Tin::Tin(size_t num_vertices, std::vector<Interaction> interactions)
       index_entries_[cursor[interaction.dst]++] = static_cast<uint32_t>(i);
     }
   }
+  TINPROV_GAUGE_SET("memory.tin_bytes", MemoryUsage());
 }
 
 const uint32_t* Tin::VertexInteractions(VertexId v, size_t* count) const {

@@ -4,7 +4,26 @@
 #include <limits>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace tinprov {
+
+namespace {
+
+/// Every lazy query shape funnels its per-query cost through here.
+/// (The parameter is unused when TINPROV_METRICS=OFF expands the
+/// macros to no-ops.)
+void RecordLazyQuery([[maybe_unused]] const ReplayStats& stats) {
+  TINPROV_COUNTER_ADD("lazy.queries", 1);
+  TINPROV_COUNTER_ADD("lazy.replayed_interactions",
+                      stats.interactions_replayed);
+  TINPROV_HISTOGRAM_OBSERVE("lazy.cone_vertices", stats.cone_vertices);
+  TINPROV_HISTOGRAM_OBSERVE("lazy.cone_interactions",
+                            stats.interactions_replayed);
+}
+
+}  // namespace
 
 size_t PrefixLength(const Tin& tin, Timestamp t) {
   const auto& log = tin.interactions();
@@ -103,6 +122,7 @@ void LazyReplayEngine::EnableParallel(ShardedSpec spec,
 }
 
 StatusOr<Buffer> LazyReplayEngine::ReplayPrefix(VertexId v, size_t prefix) {
+  obs::TraceSpan span("lazy.prefix_query", "lazy");
   if (v >= tin_->num_vertices()) {
     return Status::InvalidArgument("query vertex " + std::to_string(v) +
                                    " out of range");
@@ -113,6 +133,7 @@ StatusOr<Buffer> LazyReplayEngine::ReplayPrefix(VertexId v, size_t prefix) {
     if (!result.ok()) return result.status();
     last_stats_.interactions_replayed = prefix;
     last_stats_.cone_vertices = tin_->num_vertices();
+    RecordLazyQuery(last_stats_);
     return result;
   }
   auto tracker = MakeTracker();
@@ -128,6 +149,7 @@ StatusOr<Buffer> LazyReplayEngine::ReplayPrefix(VertexId v, size_t prefix) {
   }
   last_stats_.interactions_replayed = prefix;
   last_stats_.cone_vertices = tin_->num_vertices();
+  RecordLazyQuery(last_stats_);
   return (*tracker)->Provenance(v);
 }
 
@@ -140,6 +162,7 @@ StatusOr<Buffer> LazyReplayEngine::Provenance(VertexId v, Timestamp t) {
 }
 
 StatusOr<Buffer> LazyReplayEngine::ProvenanceSliced(VertexId v) {
+  obs::TraceSpan span("lazy.sliced_query", "lazy");
   if (v >= tin_->num_vertices()) {
     return Status::InvalidArgument("query vertex " + std::to_string(v) +
                                    " out of range");
@@ -160,6 +183,7 @@ StatusOr<Buffer> LazyReplayEngine::ProvenanceSliced(VertexId v) {
   }
   last_stats_.interactions_replayed = cone.size();
   last_stats_.cone_vertices = cone_vertices;
+  RecordLazyQuery(last_stats_);
   return (*tracker)->Provenance(v);
 }
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "stream/interaction_stream.h"
 
 namespace tinprov {
@@ -70,8 +72,13 @@ Status TimeTravelIndex::Observe(const Interaction& interaction) {
   if (observed_ % interval_ == 0) {
     Snapshot snapshot;
     snapshot.prefix = observed_;
-    build_tracker_->SaveState(&snapshot.state);
+    {
+      TINPROV_SCOPED_LATENCY_NS("timetravel.save_ns");
+      build_tracker_->SaveState(&snapshot.state);
+    }
     snapshots_.push_back(std::move(snapshot));
+    TINPROV_COUNTER_ADD("timetravel.snapshots", 1);
+    TINPROV_GAUGE_SET("memory.timetravel_bytes", MemoryUsage());
   }
   return Status::Ok();
 }
@@ -101,10 +108,13 @@ Status TimeTravelIndex::Finalize() {
   }
   build_tracker_.reset();
   finalized_ = true;
+  TINPROV_GAUGE_SET("memory.timetravel_bytes", MemoryUsage());
   return Status::Ok();
 }
 
 StatusOr<Buffer> TimeTravelIndex::Provenance(VertexId v, Timestamp t) const {
+  obs::TraceSpan span("timetravel.query", "lazy");
+  TINPROV_COUNTER_ADD("timetravel.queries", 1);
   if (!finalized_) {
     return Status::FailedPrecondition(
         "time-travel index is still ingesting — call Finalize() first");
@@ -126,6 +136,8 @@ StatusOr<Buffer> TimeTravelIndex::Provenance(VertexId v, Timestamp t) const {
   size_t start = 0;
   if (it != snapshots_.begin()) {
     const Snapshot& snapshot = *(it - 1);
+    TINPROV_SCOPED_LATENCY_NS("timetravel.restore_ns");
+    TINPROV_COUNTER_ADD("timetravel.restores", 1);
     const Status status =
         tracker->RestoreState(snapshot.state.data(), snapshot.state.size());
     if (!status.ok()) {
@@ -144,6 +156,7 @@ StatusOr<Buffer> TimeTravelIndex::Provenance(VertexId v, Timestamp t) const {
                                        status.message());
     }
   }
+  TINPROV_COUNTER_ADD("timetravel.delta_interactions", prefix - start);
   return tracker->Provenance(v);
 }
 

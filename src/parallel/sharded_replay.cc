@@ -7,6 +7,8 @@
 #include <string>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "stream/ingest.h"
 #include "stream/interaction_stream.h"
 #include "util/stopwatch.h"
@@ -290,6 +292,8 @@ StatusOr<ShardedReplayEngine::ShardRun> ShardedReplayEngine::RunShards(
   std::vector<Status> statuses(num_shards, Status::Ok());
   const auto& log = tin_->interactions();
   RunSelfScheduled(num_shards, threads, [&](size_t s) {
+    obs::TraceSpan span("replay.shard", "parallel");
+    TINPROV_SCOPED_COUNTER_NS("parallel.shard_busy_ns");
     Stopwatch watch;
     std::unique_ptr<SparseProportionalBase> tracker = spec_.make_shard();
     if (tracker == nullptr) {
@@ -372,6 +376,7 @@ StatusOr<ShardedReplayEngine::ShardRun> ShardedReplayEngine::RunShardsStream(
       }
     }
     run.seconds[s] += watch.ElapsedSeconds();
+    TINPROV_COUNTER_ADD("parallel.shard_busy_ns", watch.ElapsedNanos());
     return Status::Ok();
   };
 
@@ -438,13 +443,19 @@ StatusOr<ShardedReplayEngine::ShardRun> ShardedReplayEngine::RunShardsStream(
     std::vector<Status> worker_status(num_workers, Status::Ok());
 
     const auto worker_main = [&](size_t w) {
+      obs::TraceSpan worker_span("replay.worker", "parallel");
       for (;;) {
         std::shared_ptr<const std::vector<Interaction>> chunk;
         {
           std::unique_lock<std::mutex> lock(mu);
-          consumer_cv.wait(lock, [&] {
-            return abort || done || cursor[w] < base + chunks.size();
-          });
+          {
+            // Queue-wait time: the stream is the bottleneck when this
+            // dwarfs parallel.shard_busy_ns.
+            TINPROV_SCOPED_COUNTER_NS("parallel.worker_idle_ns");
+            consumer_cv.wait(lock, [&] {
+              return abort || done || cursor[w] < base + chunks.size();
+            });
+          }
           if (abort) return;
           if (cursor[w] == base + chunks.size()) return;  // done and drained
           chunk = chunks[cursor[w] - base];
@@ -496,6 +507,9 @@ StatusOr<ShardedReplayEngine::ShardRun> ShardedReplayEngine::RunShardsStream(
         }
         if (abort) break;
         chunks.push_back(std::move(chunk));
+        TINPROV_COUNTER_ADD("stream.chunks", 1);
+        TINPROV_GAUGE_SET("stream.queue_depth", chunks.size());
+        TINPROV_GAUGE_MAX("stream.queue_depth_peak", chunks.size());
       }
       consumer_cv.notify_all();
       if (exhausted) break;
@@ -543,6 +557,7 @@ ShardedReplayResult ShardedReplayEngine::AssembleResult(
   result.totals.resize(n);
   result.entries.resize(n);
   result.total_generated = trackers[0]->total_generated();
+  size_t pool_bytes = 0;
   for (size_t s = 0; s < shards; ++s) {
     result.num_entries += trackers[s]->num_entries();
     ShardInfo info;
@@ -550,13 +565,19 @@ ShardedReplayResult ShardedReplayEngine::AssembleResult(
     info.entries = trackers[s]->num_entries();
     info.seconds = run.seconds[s];
     info.pool_bytes = trackers[s]->PoolBytesReserved();
+    pool_bytes += info.pool_bytes;
     result.shards.push_back(info);
   }
+  TINPROV_COUNTER_ADD("parallel.replays", 1);
+  TINPROV_COUNTER_ADD("parallel.shards_run", shards);
+  TINPROV_GAUGE_SET("memory.shard_pool_bytes", pool_bytes);
 
   // Phase 2 (exchange): interleave the shards' disjoint label slices
   // back into full per-vertex lists. Pure data movement ordered by
   // label id — deterministic and free of floating-point arithmetic —
   // parallelized over vertex blocks on the same worker pool.
+  obs::TraceSpan exchange_span("replay.exchange", "parallel");
+  TINPROV_SCOPED_LATENCY_NS("parallel.exchange_ns");
   constexpr size_t kBlock = 1024;
   const size_t num_blocks = (n + kBlock - 1) / kBlock;
   RunSelfScheduled(num_blocks, threads, [&](size_t block) {

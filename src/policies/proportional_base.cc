@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/buffer_io.h"
+#include "obs/metrics.h"
 #include "util/simd.h"
 
 namespace tinprov {
@@ -73,6 +74,7 @@ void MergeScaledInto(SparseVector* out, const SparseVector& a,
 Status SparseProportionalBase::Process(const Interaction& interaction) {
   auto deficit = CheckAndComputeDeficit(interaction, totals_);
   if (!deficit.ok()) return deficit.status();
+  TINPROV_COUNTER_ADD("tracker.interactions", 1);
   SparseVector& src_buffer = buffers_[interaction.src];
   if (*deficit > 0.0) {
     OnGenerated(interaction.src, *deficit);
@@ -97,6 +99,7 @@ Status SparseProportionalBase::Process(const Interaction& interaction) {
           src_buffer.insert(it, entry);
           ++num_entries_;
         }
+        attributed_generated_ += *deficit;
       }
     }
     totals_[interaction.src] += *deficit;
@@ -141,6 +144,7 @@ Status SparseProportionalBase::Process(const Interaction& interaction) {
   num_entries_ += dst_buffer.size() - dst_before;
   totals_[interaction.src] -= interaction.quantity;
   totals_[interaction.dst] += interaction.quantity;
+  TINPROV_HISTOGRAM_OBSERVE("tracker.list_len", dst_buffer.size());
   AfterInteraction(interaction);
   return Status::Ok();
 }
@@ -175,6 +179,7 @@ void SparseProportionalBase::ReserveHint(const DatasetStats& stats) {
 
 void SparseProportionalBase::SaveStateBody(ByteWriter* writer) const {
   writer->AppendSpan(totals_.data(), totals_.size());
+  writer->AppendSpan(&attributed_generated_, 1);
   for (const SparseVector& buffer : buffers_) {
     AppendEntryVector(writer, buffer);
   }
@@ -183,6 +188,8 @@ void SparseProportionalBase::SaveStateBody(ByteWriter* writer) const {
 
 Status SparseProportionalBase::RestoreStateBody(ByteReader* reader) {
   Status status = reader->ReadSpan(totals_.data(), totals_.size());
+  if (!status.ok()) return status;
+  status = reader->ReadSpan(&attributed_generated_, 1);
   if (!status.ok()) return status;
   num_entries_ = 0;
   num_nonempty_ = 0;
@@ -201,6 +208,7 @@ void SparseProportionalBase::ClearAllEntries() {
   for (SparseVector& buffer : buffers_) buffer.clear();
   num_entries_ = 0;
   num_nonempty_ = 0;
+  attributed_generated_ = 0.0;
 }
 
 }  // namespace tinprov

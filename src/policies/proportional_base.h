@@ -88,6 +88,16 @@ class SparseProportionalBase : public Tracker {
   /// allocator-level footprint, distinct from the logical MemoryUsage().
   size_t PoolBytesReserved() const { return pool_.bytes_reserved(); }
 
+  /// The paper's alpha: generated quantity whose provenance is NOT
+  /// recorded in any list (declined attribution, masked labels, window
+  /// resets, budget shrinks). Maintained incrementally — the standing
+  /// attributed quantity is credited at insert time and debited when
+  /// tuples are dropped; pro-rata transfers only move tuples between
+  /// lists, so they leave it unchanged. Zero for the exact policy.
+  double AlphaResidue() const {
+    return total_generated() - attributed_generated_;
+  }
+
  protected:
   explicit SparseProportionalBase(size_t num_vertices)
       : Tracker(num_vertices),
@@ -132,6 +142,12 @@ class SparseProportionalBase : public Tracker {
     return Status::Ok();
   }
 
+  /// Debits AlphaResidue()'s attributed side when a subclass drops
+  /// stored tuples without a full reset (budget shrinking).
+  void NoteAttributedDropped(double quantity) {
+    attributed_generated_ -= quantity;
+  }
+
   // Declaration order is a destruction contract: buffers_ and scratch_
   // return their storage to pool_, so the pool must be destroyed last
   // (i.e. declared first).
@@ -141,6 +157,9 @@ class SparseProportionalBase : public Tracker {
   SparseVector scratch_;
   size_t num_entries_ = 0;
   size_t num_nonempty_ = 0;
+  /// Standing attributed quantity: every deficit that reached a list,
+  /// minus everything dropped since. See AlphaResidue().
+  double attributed_generated_ = 0.0;
 
  private:
   const uint8_t* label_mask_ = nullptr;

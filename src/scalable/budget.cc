@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+
 namespace tinprov {
 
 namespace {
@@ -45,6 +47,13 @@ void BudgetTracker::MaybeShrink(VertexId v) {
                      return a.quantity > b.quantity;
                    });
   num_entries_ -= buffer.size() - keep_;
+  // The dropped tuples' quantity leaves the attributed side of the
+  // alpha accounting the moment it leaves the list.
+  double dropped = 0.0;
+  for (size_t i = keep_; i < buffer.size(); ++i) {
+    dropped += buffer[i].quantity;
+  }
+  NoteAttributedDropped(dropped);
   // keep_ >= 1, so a shrink never empties a list and the base class's
   // num_nonempty_ count stays valid without an adjustment here.
   buffer.resize(keep_);
@@ -54,6 +63,7 @@ void BudgetTracker::MaybeShrink(VertexId v) {
             });
   ++shrink_counts_[v];
   ++total_shrinks_;
+  TINPROV_COUNTER_ADD("tracker.shrinks", 1);
 }
 
 void BudgetTracker::SaveAuxState(ByteWriter* writer) const {

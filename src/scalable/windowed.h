@@ -6,6 +6,7 @@
 #ifndef TINPROV_SCALABLE_WINDOWED_H_
 #define TINPROV_SCALABLE_WINDOWED_H_
 
+#include "obs/metrics.h"
 #include "policies/proportional_base.h"
 
 namespace tinprov {
@@ -29,6 +30,7 @@ class WindowedTracker : public SparseProportionalBase {
       ClearAllEntries();
       since_reset_ = 0;
       ++reset_count_;
+      TINPROV_COUNTER_ADD("tracker.window_resets", 1);
     }
   }
 

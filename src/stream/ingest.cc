@@ -3,17 +3,24 @@
 #include <algorithm>
 #include <string>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "policies/proportional_base.h"
 #include "util/stopwatch.h"
 
 namespace tinprov {
 
 StreamIngestor::StreamIngestor(Tracker* tracker, IngestOptions options)
-    : tracker_(tracker), options_(options) {
+    : tracker_(tracker),
+      prop_(dynamic_cast<SparseProportionalBase*>(tracker)),
+      options_(options) {
   if (options_.batch_size == 0) options_.batch_size = 1;
   batch_.reserve(options_.batch_size);
 }
 
 Status StreamIngestor::IngestBatch(InteractionStream& stream, bool* done) {
+  obs::TraceSpan span("ingest.batch", "ingest");
+  TINPROV_SCOPED_LATENCY_NS("ingest.batch_ns");
   Stopwatch watch;
   if (!reserved_) {
     reserved_ = true;
@@ -60,6 +67,21 @@ Status StreamIngestor::IngestBatch(InteractionStream& stream, bool* done) {
   stats_.tracker_peak_memory =
       std::max(stats_.tracker_peak_memory, tracker_->MemoryUsage());
   stats_.seconds += watch.ElapsedSeconds();
+  TINPROV_COUNTER_ADD("ingest.interactions", batch_.size());
+  TINPROV_COUNTER_ADD("ingest.batches", 1);
+  TINPROV_GAUGE_SET("ingest.watermark", stats_.watermark);
+  // Pull-side minus published watermark: how far ahead the order check
+  // has read past the state the tracker has actually built.
+  TINPROV_GAUGE_SET("ingest.watermark_lag", pull_watermark_ - stats_.watermark);
+  TINPROV_GAUGE_MAX("ingest.peak_batch", stats_.peak_batch);
+  TINPROV_GAUGE_SET("memory.ingest_tracker_bytes", tracker_->MemoryUsage());
+  TINPROV_GAUGE_MAX("memory.ingest_tracker_peak_bytes",
+                    stats_.tracker_peak_memory);
+  if (prop_ != nullptr) {
+    TINPROV_GAUGE_SET("memory.pool_bytes", prop_->PoolBytesReserved());
+    TINPROV_GAUGE_SET("tracker.alpha_residue", prop_->AlphaResidue());
+    TINPROV_GAUGE_SET("tracker.entries", prop_->num_entries());
+  }
   return Status::Ok();
 }
 

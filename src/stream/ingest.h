@@ -30,6 +30,8 @@
 
 namespace tinprov {
 
+class SparseProportionalBase;
+
 struct IngestOptions {
   /// Interactions pulled and applied per micro-batch. The batch buffer
   /// is the only stream-side allocation, so this bounds pipeline memory.
@@ -75,6 +77,9 @@ class StreamIngestor {
 
  private:
   Tracker* tracker_;
+  // Non-null when the tracker is pool-backed: per-batch metric sampling
+  // (pool bytes, alpha residue, standing entries) reads through this.
+  SparseProportionalBase* prop_ = nullptr;
   IngestOptions options_;
   IngestStats stats_;
   std::vector<Interaction> batch_;

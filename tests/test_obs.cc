@@ -1,0 +1,356 @@
+// The observability substrate: log2-histogram percentiles against exact
+// quantiles, sharded counters and histograms under real thread
+// contention (the TSan leg runs this label), trace-sink ring semantics
+// and chrome://tracing JSON shape, exporter output, the metrics-off
+// no-op proof, and the engine-facing pieces that ride on the registry —
+// per-batch ingest metrics, the unified "memory." gauge sum, and the
+// trackers' alpha-residue accounting (including its snapshot survival).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "datagen/generator.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "policies/proportional_sparse.h"
+#include "scalable/budget.h"
+#include "scalable/windowed.h"
+#include "stream/ingest.h"
+#include "stream/interaction_stream.h"
+
+namespace tinprov {
+namespace {
+
+using obs::Counter;
+using obs::Gauge;
+using obs::Histogram;
+using obs::MetricsRegistry;
+using obs::TraceSink;
+using obs::TraceSpan;
+
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    MetricsRegistry::Global().ResetForTesting();
+    TraceSink::Global().Clear();
+  }
+};
+
+TEST_F(ObsTest, CounterAddsAndResets) {
+  Counter counter;
+  counter.Add();
+  counter.Add(41);
+  if (obs::kMetricsEnabled) {
+    EXPECT_EQ(counter.Value(), 42u);
+  } else {
+    EXPECT_EQ(counter.Value(), 0u);  // compiled-out build: provable no-op
+  }
+  counter.Reset();
+  EXPECT_EQ(counter.Value(), 0u);
+}
+
+TEST_F(ObsTest, GaugeSetAddMax) {
+  Gauge gauge;
+  gauge.Set(10.0);
+  gauge.Add(5.0);
+  gauge.SetMax(12.0);  // below current 15 -> no change
+  if (obs::kMetricsEnabled) {
+    EXPECT_DOUBLE_EQ(gauge.Value(), 15.0);
+    gauge.SetMax(20.0);
+    EXPECT_DOUBLE_EQ(gauge.Value(), 20.0);
+  } else {
+    EXPECT_DOUBLE_EQ(gauge.Value(), 0.0);
+  }
+}
+
+TEST_F(ObsTest, HistogramBucketBoundaries) {
+  EXPECT_EQ(Histogram::BucketIndex(0), 0u);
+  EXPECT_EQ(Histogram::BucketIndex(1), 1u);
+  EXPECT_EQ(Histogram::BucketIndex(2), 2u);
+  EXPECT_EQ(Histogram::BucketIndex(3), 2u);
+  EXPECT_EQ(Histogram::BucketIndex(4), 3u);
+  EXPECT_EQ(Histogram::BucketIndex(1023), 10u);
+  EXPECT_EQ(Histogram::BucketIndex(1024), 11u);
+  for (size_t i = 1; i + 1 < Histogram::kNumBuckets; ++i) {
+    // Bucket i>0 holds [2^(i-1), 2^i).
+    const auto low = static_cast<uint64_t>(Histogram::BucketLow(i));
+    const auto high = static_cast<uint64_t>(Histogram::BucketHigh(i));
+    EXPECT_EQ(Histogram::BucketIndex(low), i);
+    EXPECT_EQ(Histogram::BucketIndex(high - 1), i);
+    EXPECT_EQ(Histogram::BucketIndex(high), i + 1);
+  }
+}
+
+// The log2-bucket estimate must land within the exact quantile's bucket:
+// the error is bounded by the bucket's 2x width, never more.
+TEST_F(ObsTest, HistogramPercentilesTrackExactQuantiles) {
+  if (!obs::kMetricsEnabled) GTEST_SKIP() << "metrics compiled out";
+  Histogram histogram;
+  std::vector<uint64_t> samples;
+  // Deterministic skewed data: mostly small with a long tail, like a
+  // latency distribution.
+  uint64_t state = 88172645463325252ULL;
+  for (int i = 0; i < 20000; ++i) {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    const uint64_t value = (state % 1000) < 950 ? state % 4096
+                                                : state % (1 << 20);
+    samples.push_back(value);
+    histogram.Observe(value);
+  }
+  EXPECT_EQ(histogram.Count(), samples.size());
+  std::sort(samples.begin(), samples.end());
+  for (const double p : {0.50, 0.90, 0.99}) {
+    const size_t rank = std::max<size_t>(
+        1, static_cast<size_t>(p * static_cast<double>(samples.size())));
+    const uint64_t exact = samples[rank - 1];
+    const double estimate = histogram.Percentile(p);
+    const size_t bucket = Histogram::BucketIndex(exact);
+    EXPECT_GE(estimate, Histogram::BucketLow(bucket))
+        << "p=" << p << " exact=" << exact;
+    EXPECT_LE(estimate, Histogram::BucketHigh(bucket))
+        << "p=" << p << " exact=" << exact;
+  }
+  // Degenerate cases.
+  Histogram empty;
+  EXPECT_DOUBLE_EQ(empty.Percentile(0.5), 0.0);
+  Histogram zeros;
+  zeros.Observe(0);
+  zeros.Observe(0);
+  EXPECT_DOUBLE_EQ(zeros.Percentile(0.99), 0.0);
+}
+
+TEST_F(ObsTest, RegistryInternsByName) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  Counter* counter = registry.GetCounter("test.interned");
+  EXPECT_EQ(counter, registry.GetCounter("test.interned"));
+  EXPECT_NE(counter, registry.GetCounter("test.other"));
+  // Counters, gauges, and histograms occupy separate namespaces.
+  registry.GetGauge("test.interned");
+  registry.GetHistogram("test.interned");
+  counter->Add(7);
+  registry.ResetForTesting();
+  // Reset zeroes values but keeps the interned pointers valid.
+  EXPECT_EQ(counter, registry.GetCounter("test.interned"));
+  EXPECT_EQ(counter->Value(), 0u);
+}
+
+// The TSan target: concurrent writers on one counter and one histogram,
+// exact totals once the writers have joined.
+TEST_F(ObsTest, ConcurrentCountersAndHistogramsAreExact) {
+  if (!obs::kMetricsEnabled) GTEST_SKIP() << "metrics compiled out";
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  Counter* counter = registry.GetCounter("test.concurrent_counter");
+  Gauge* peak = registry.GetGauge("test.concurrent_peak");
+  Histogram* histogram = registry.GetHistogram("test.concurrent_histogram");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        counter->Add(1);
+        histogram->Observe(static_cast<uint64_t>(i));
+        peak->SetMax(static_cast<double>(t * kPerThread + i));
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(counter->Value(),
+            static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(histogram->Count(),
+            static_cast<uint64_t>(kThreads) * kPerThread);
+  const uint64_t per_thread_sum =
+      static_cast<uint64_t>(kPerThread) * (kPerThread - 1) / 2;
+  EXPECT_EQ(histogram->Sum(), kThreads * per_thread_sum);
+  EXPECT_DOUBLE_EQ(peak->Value(),
+                   static_cast<double>(kThreads * kPerThread - 1));
+}
+
+TEST_F(ObsTest, MemoryBytesSumsOnlyMemoryGauges) {
+  if (!obs::kMetricsEnabled) GTEST_SKIP() << "metrics compiled out";
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  registry.GetGauge("memory.test_a")->Set(100.0);
+  registry.GetGauge("memory.test_b")->Set(23.0);
+  registry.GetGauge("test.not_memory")->Set(1e9);
+  EXPECT_DOUBLE_EQ(registry.MemoryBytes(), 123.0);
+  EXPECT_DOUBLE_EQ(obs::EngineMemoryBytes(), 123.0);
+}
+
+TEST_F(ObsTest, TraceSinkRingBoundsAndCountsDrops) {
+  TraceSink& sink = TraceSink::Global();
+  sink.SetCapacityForTesting(4);
+  sink.SetEnabledForTesting(true);
+  for (int i = 0; i < 10; ++i) {
+    sink.Record("test.event", "test", i * 100, 50);
+  }
+  sink.SetEnabledForTesting(false);
+  if (obs::kMetricsEnabled) {
+    EXPECT_EQ(sink.num_events(), 4u);
+    EXPECT_EQ(sink.dropped_events(), 6u);
+  } else {
+    // Tracing can never be enabled in a metrics-off build.
+    EXPECT_EQ(sink.num_events(), 0u);
+    EXPECT_EQ(sink.dropped_events(), 0u);
+  }
+  sink.SetCapacityForTesting(1 << 16);
+}
+
+TEST_F(ObsTest, TraceSpansProduceChromeTracingJson) {
+  if (!obs::kMetricsEnabled) GTEST_SKIP() << "metrics compiled out";
+  TraceSink& sink = TraceSink::Global();
+  sink.SetEnabledForTesting(true);
+  {
+    TraceSpan outer("test.outer", "test");
+    TraceSpan inner("test.inner", "test");
+  }
+  sink.SetEnabledForTesting(false);
+  EXPECT_EQ(sink.num_events(), 2u);
+  const std::string json = sink.ToJson();
+  // Structural shape of the chrome://tracing trace_event format; the
+  // scripts/smoke.sh trace smoke additionally json.load()s a real file.
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"test.outer\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"test.inner\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"test\""), std::string::npos);
+  // Destruction order: inner closes first, so it is recorded first.
+  EXPECT_LT(json.find("test.inner"), json.find("test.outer"));
+}
+
+TEST_F(ObsTest, SpansAreNotRecordedWhileDisabled) {
+  TraceSink& sink = TraceSink::Global();
+  ASSERT_FALSE(sink.enabled());
+  {
+    TraceSpan span("test.ignored", "test");
+  }
+  EXPECT_EQ(sink.num_events(), 0u);
+}
+
+TEST_F(ObsTest, PrometheusTextShapes) {
+  if (!obs::kMetricsEnabled) GTEST_SKIP() << "metrics compiled out";
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  registry.GetCounter("test.prom_counter")->Add(3);
+  registry.GetGauge("test.prom_gauge")->Set(1.5);
+  registry.GetHistogram("test.prom_hist")->Observe(100);
+  const std::string text = obs::PrometheusText();
+  EXPECT_NE(text.find("# TYPE tinprov_test_prom_counter counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("tinprov_test_prom_counter 3"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE tinprov_test_prom_gauge gauge"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE tinprov_test_prom_hist summary"),
+            std::string::npos);
+  EXPECT_NE(text.find("tinprov_test_prom_hist{quantile=\"0.99\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("tinprov_test_prom_hist_count 1"), std::string::npos);
+}
+
+TEST_F(ObsTest, MetricsJsonIsWellFormedAndComplete) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  registry.GetCounter("test.json_counter")->Add(5);
+  registry.GetHistogram("test.json_hist")->Observe(7);
+  const std::string json = obs::MetricsJson();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"counters\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\":{"), std::string::npos);
+  if (obs::kMetricsEnabled) {
+    EXPECT_NE(json.find("\"test.json_counter\":5"), std::string::npos);
+    EXPECT_NE(json.find("\"test.json_hist\":{\"count\":1"),
+              std::string::npos);
+  }
+}
+
+// ---- Engine integration: the layers actually report through the
+// ---- registry, and the unified memory answer is one call away.
+
+Tin SmallTin() {
+  GeneratorConfig config;
+  config.num_vertices = 40;
+  config.num_interactions = 2000;
+  config.src_skew = 1.1;
+  config.dst_skew = 0.9;
+  config.seed = 7;
+  return *Generate(config);
+}
+
+TEST_F(ObsTest, IngestReportsThroughRegistry) {
+  if (!obs::kMetricsEnabled) GTEST_SKIP() << "metrics compiled out";
+  const Tin tin = SmallTin();
+  ProportionalSparseTracker tracker(tin.num_vertices());
+  StreamIngestor ingestor(&tracker, {/*batch_size=*/256});
+  MaterializedStream stream(tin);
+  ASSERT_TRUE(ingestor.IngestAll(stream).ok());
+
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  EXPECT_EQ(registry.GetCounter("ingest.interactions")->Value(),
+            tin.num_interactions());
+  EXPECT_EQ(registry.GetCounter("ingest.batches")->Value(),
+            ingestor.stats().batches);
+  EXPECT_DOUBLE_EQ(registry.GetGauge("ingest.watermark")->Value(),
+                   ingestor.stats().watermark);
+  EXPECT_DOUBLE_EQ(registry.GetGauge("ingest.peak_batch")->Value(), 256.0);
+  EXPECT_EQ(registry.GetCounter("tracker.interactions")->Value(),
+            tin.num_interactions());
+  // One call reports engine-wide bytes, and the ingest-side tracker
+  // gauge is part of the sum.
+  EXPECT_GE(obs::EngineMemoryBytes(),
+            registry.GetGauge("memory.ingest_tracker_bytes")->Value());
+  EXPECT_GT(registry.GetGauge("memory.ingest_tracker_bytes")->Value(), 0.0);
+}
+
+TEST_F(ObsTest, AlphaResidueTracksUnattributedQuantity) {
+  const Tin tin = SmallTin();
+
+  // The exact policy attributes everything: alpha stays (numerically) 0.
+  ProportionalSparseTracker exact(tin.num_vertices());
+  for (const Interaction& interaction : tin.interactions()) {
+    ASSERT_TRUE(exact.Process(interaction).ok());
+  }
+  EXPECT_NEAR(exact.AlphaResidue(), 0.0,
+              1e-9 * std::max(1.0, exact.total_generated()));
+
+  // Budgeted tracking drops tuples: alpha grows, stays within
+  // [0, total_generated], and survives a snapshot round-trip.
+  BudgetConfig config;
+  config.capacity = 4;
+  config.keep_fraction = 0.5;
+  BudgetTracker budget(tin.num_vertices(), config);
+  for (const Interaction& interaction : tin.interactions()) {
+    ASSERT_TRUE(budget.Process(interaction).ok());
+  }
+  EXPECT_GT(budget.AlphaResidue(), 0.0);
+  EXPECT_LE(budget.AlphaResidue(),
+            budget.total_generated() * (1.0 + 1e-9));
+
+  std::vector<uint8_t> state;
+  budget.SaveState(&state);
+  BudgetTracker restored(tin.num_vertices(), config);
+  ASSERT_TRUE(restored.RestoreState(state.data(), state.size()).ok());
+  EXPECT_DOUBLE_EQ(restored.AlphaResidue(), budget.AlphaResidue());
+
+  // A window reset collapses every list into alpha.
+  WindowedTracker windowed(tin.num_vertices(), tin.num_interactions());
+  for (const Interaction& interaction : tin.interactions()) {
+    ASSERT_TRUE(windowed.Process(interaction).ok());
+  }
+  ASSERT_EQ(windowed.reset_count(), 1u);
+  EXPECT_EQ(windowed.num_entries(), 0u);
+  EXPECT_NEAR(windowed.AlphaResidue(), windowed.total_generated(),
+              1e-9 * std::max(1.0, windowed.total_generated()));
+}
+
+}  // namespace
+}  // namespace tinprov
