@@ -67,10 +67,12 @@ int main() {
                         "path"});
     double baseline_seconds = 0.0;
     for (const size_t threads : thread_counts) {
-      ParallelParams parallel;
-      parallel.num_threads = threads;
-      auto m = MeasureNamedTracker("Prop-sparse", tin, params,
-                                   bench::kDenseMemoryLimit, parallel);
+      MeasureOptions options;
+      options.tin = &tin;
+      options.dense_memory_limit = bench::kDenseMemoryLimit;
+      options.parallel = true;
+      options.parallel_params.num_threads = threads;
+      auto m = MeasureTracker({"Prop-sparse", params}, options);
       if (!m.ok()) {
         std::fprintf(stderr, "measurement failed: %s\n",
                      m.status().ToString().c_str());

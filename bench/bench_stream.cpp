@@ -7,7 +7,7 @@
 // memory is a constant micro-batch buffer instead of the whole stream.
 //
 // Three paths per dataset, all Prop-sparse:
-//   materialized       generate a Tin, then MeasureNamedTracker over it
+//   materialized       generate a Tin, then MeasureTracker over it
 //   streaming          GeneratorStream -> StreamIngestor (micro-batches)
 //   streaming+sharded  GeneratorStream -> ShardedReplayEngine::ReplayStream
 //                      (bounded broadcast queue; sequential fallback on
@@ -66,8 +66,11 @@ int main() {
     Stopwatch watch;
     const Tin tin = bench::MustMakeDataset(dataset, scale);
     const double generate_seconds = watch.ElapsedSeconds();
-    auto materialized = MeasureNamedTracker("Prop-sparse", tin, params,
-                                            bench::kDenseMemoryLimit);
+    MeasureOptions materialized_options;
+    materialized_options.tin = &tin;
+    materialized_options.dense_memory_limit = bench::kDenseMemoryLimit;
+    auto materialized =
+        MeasureTracker({"Prop-sparse", params}, materialized_options);
     if (!materialized.ok()) {
       std::fprintf(stderr, "materialized measurement failed: %s\n",
                    materialized.status().ToString().c_str());
@@ -78,8 +81,12 @@ int main() {
     // tracker; the only stream-side buffer is the micro-batch.
     GeneratorStream stream = MustMakeStream(config);
     IngestStats ingest;
-    auto streaming = MeasureNamedTracker("Prop-sparse", stream, params,
-                                         bench::kDenseMemoryLimit, &ingest);
+    MeasureOptions streaming_options;
+    streaming_options.stream = &stream;
+    streaming_options.dense_memory_limit = bench::kDenseMemoryLimit;
+    streaming_options.ingest_stats = &ingest;
+    auto streaming = MeasureTracker(
+        {"Prop-sparse", params, TrackerMode::kStreaming}, streaming_options);
     if (!streaming.ok()) {
       std::fprintf(stderr, "streaming measurement failed: %s\n",
                    streaming.status().ToString().c_str());
@@ -88,9 +95,9 @@ int main() {
 
     // Streaming + sharded: the same stream fanned out to label shards
     // through the bounded broadcast queue.
-    auto spec = StreamShardedSpec(
-        "Prop-sparse", {config.num_vertices, config.num_interactions},
-        params);
+    auto spec = TrackerRegistry::Global().Sharded(
+        {"Prop-sparse", params, TrackerMode::kStreaming},
+        DatasetStats{config.num_vertices, config.num_interactions});
     if (!spec.ok()) {
       std::fprintf(stderr, "spec failed: %s\n",
                    spec.status().ToString().c_str());
@@ -164,9 +171,9 @@ int main() {
     for (int round = 0; round < 2; ++round) {
       if (round == 1) config.num_interactions *= 4;
       GeneratorStream stream = MustMakeStream(config);
-      auto factory = StreamTrackerFactory(
-          "Prop-sparse", {config.num_vertices, config.num_interactions},
-          params);
+      auto factory = TrackerRegistry::Global().Factory(
+          {"Prop-sparse", params, TrackerMode::kStreaming},
+          DatasetStats{config.num_vertices, config.num_interactions});
       if (!factory.ok()) {
         std::fprintf(stderr, "flatness factory failed: %s\n",
                      factory.status().ToString().c_str());

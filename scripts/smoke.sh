@@ -8,7 +8,8 @@
 # file (CI uploads it as the bench-smoke-<compiler> artifact); without
 # it output is discarded as before. TINPROV_LAZY_SMOKE_LOG additionally
 # captures bench_lazy's output on its own for the per-job bench-lazy
-# artifact.
+# artifact, and TINPROV_SERVE_SMOKE_LOG does the same for bench_serve's
+# serving-latency table.
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
@@ -81,6 +82,11 @@ run_pinned 0.1 bench_parallel
 # streaming+sharded) plus the 1x/4x buffering-flatness check, so its
 # smoke scale stays pinned like the other multi-pass harnesses.
 run_pinned 0.1 bench_stream
+# bench_serve runs one full ingest per reader count with closed-loop
+# reader threads, so its smoke scale stays pinned too; its latency table
+# additionally lands in TINPROV_SERVE_SMOKE_LOG when set (CI uploads it
+# as the per-job bench-serve artifact).
+TINPROV_SCALE=0.1 run_logged "${TINPROV_SERVE_SMOKE_LOG:-}" bench_serve
 run bench_micro --benchmark_min_time=0.01
 
 # Observability smoke: the obs unit tests guard the metrics/trace

@@ -3,15 +3,9 @@
 #include <algorithm>
 #include <utility>
 
-#include "lazy/replay.h"
 #include "obs/trace.h"
 #include "policies/proportional_dense.h"
-#include "policies/proportional_sparse.h"
-#include "scalable/grouped.h"
-#include "scalable/selective.h"
-#include "scalable/windowed.h"
 #include "util/stopwatch.h"
-#include "util/strings.h"
 
 namespace tinprov {
 
@@ -86,211 +80,120 @@ StatusOr<Measurement> MeasurePolicy(PolicyKind kind, const Tin& tin,
                     dataset_name + "/" + std::string(PolicyName(kind)));
 }
 
-namespace {
-
-Status UnknownTrackerName(std::string_view name) {
-  std::string known;
-  for (const std::string& candidate : AllTrackerNames()) {
-    if (!known.empty()) known += ", ";
-    known += candidate;
+StatusOr<Measurement> MeasureTracker(const TrackerSpec& spec,
+                                     const MeasureOptions& options) {
+  if ((options.tin != nullptr) == (options.stream != nullptr)) {
+    return Status::InvalidArgument(
+        "MeasureOptions must set exactly one of tin and stream");
   }
-  return Status::InvalidArgument("unknown tracker name: \"" +
-                                 std::string(name) + "\" (expected one of " +
-                                 known + ")");
+  const TrackerRegistry& registry = TrackerRegistry::Global();
+  const Status valid = registry.Validate(spec);
+  if (!valid.ok()) return valid;
+
+  // Same feasibility gate as MeasurePolicy, applied over whichever
+  // input is present before any construction work happens.
+  const size_t num_vertices = options.tin != nullptr
+                                  ? options.tin->num_vertices()
+                                  : options.stream->Stats().num_vertices;
+  const auto kind = PolicyKindFromName(spec.name);
+  if (kind.ok() && *kind == PolicyKind::kProportionalDense &&
+      options.dense_memory_limit > 0 &&
+      DenseMemoryBound(num_vertices) > options.dense_memory_limit) {
+    Measurement measurement;
+    measurement.feasible = false;
+    return measurement;
+  }
+
+  if (options.stream != nullptr) {
+    auto tracker = registry.Create(spec, options.stream->Stats());
+    if (!tracker.ok()) return tracker.status();
+    return MeasureStreamRun(tracker->get(), *options.stream, spec.name,
+                            options.ingest_stats);
+  }
+
+  const Tin& tin = *options.tin;
+  if (options.parallel) {
+    auto sharded = registry.Sharded(spec, tin);
+    if (!sharded.ok()) return sharded.status();
+    const bool decomposable = sharded->decomposable;
+    ShardedReplayEngine engine(tin, *std::move(sharded),
+                               options.parallel_params);
+    if (decomposable && engine.ResolvedThreads() > 1) {
+      auto result = engine.Replay();
+      if (!result.ok()) return result.status();
+      Measurement measurement;
+      // replay_seconds excludes the exchange/materialization phase,
+      // making this number comparable to MeasureRun's Process()-loop
+      // timing: a sequential tracker needs no exchange to become
+      // queryable, and neither do the shard trackers (QueryPrefix
+      // interleaves on demand).
+      measurement.seconds = result->replay_seconds;
+      measurement.peak_memory = result->num_entries * sizeof(ProvPair) +
+                                tin.num_vertices() * sizeof(double);
+      measurement.parallel = result->used_parallel_path;
+      return measurement;
+    }
+    // Non-decomposable or single-threaded: fall through to the classic
+    // path, which measures the same replay and additionally samples the
+    // in-run memory peak.
+  }
+  auto tracker = registry.Create(spec, tin);
+  if (!tracker.ok()) return tracker.status();
+  return MeasureRun(tracker->get(), tin, spec.name);
 }
 
-}  // namespace
+// ---------------------------------------------------------------------------
+// Deprecated wrappers. Definitions forward to the registry directly (a
+// wrapper calling another deprecated wrapper would trip -Werror builds).
+// ---------------------------------------------------------------------------
 
 StatusOr<std::unique_ptr<Tracker>> CreateTrackerByName(
     std::string_view name, const Tin& tin, const ScalableParams& params) {
-  auto factory = NamedTrackerFactory(name, tin, params);
-  if (!factory.ok()) return factory.status();
-  std::unique_ptr<Tracker> tracker = (*factory)();
-  if (tracker == nullptr) {
-    return Status::Internal("tracker factory returned null for \"" +
-                            std::string(name) + "\"");
-  }
-  return tracker;
+  return TrackerRegistry::Global().Create(
+      TrackerSpec{std::string(name), params, TrackerMode::kMaterialized}, tin);
 }
 
 StatusOr<TrackerFactory> NamedTrackerFactory(std::string_view name,
                                              const Tin& tin,
                                              const ScalableParams& params) {
-  const size_t n = tin.num_vertices();
-  const auto kind = PolicyKindFromName(name);
-  if (kind.ok()) {
-    return PolicyTrackerFactory(tin, *kind);
-  }
-
-  const std::string lower = AsciiLower(name);
-  if (lower == "budget") {
-    return TrackerFactory([n, budget = params.budget] {
-      return std::unique_ptr<Tracker>(
-          std::make_unique<BudgetTracker>(n, budget));
-    });
-  }
-  if (lower == "windowed" || lower == "selective" || lower == "grouped") {
-    // Label-decomposable trackers are constructed in exactly one place —
-    // NamedShardedSpec — and the sequential closure there is the shard
-    // factory unrestricted, so the parallel engine and this factory can
-    // never configure the same name differently. The selection
-    // preprocessing (Selective's scan, Grouped's assignment) still runs
-    // once, captured in the closure; per-query construction stays cheap.
-    auto spec = NamedShardedSpec(name, tin, params);
-    if (!spec.ok()) return spec.status();
-    return std::move(spec->sequential);
-  }
-
-  return UnknownTrackerName(name);
-}
-
-std::vector<std::string> AllTrackerNames() {
-  std::vector<std::string> names;
-  for (const PolicyKind kind : AllPolicies()) {
-    names.emplace_back(PolicyName(kind));
-  }
-  names.emplace_back("Selective");
-  names.emplace_back("Grouped");
-  names.emplace_back("Windowed");
-  names.emplace_back("Budget");
-  return names;
-}
-
-namespace {
-
-/// The streaming stand-in for Selective's selection step: a stream
-/// cannot be pre-scanned for its top generators, so the tracked set is
-/// fixed a priori as the k lowest vertex ids.
-std::vector<VertexId> FirstVertices(size_t num_vertices, size_t k) {
-  std::vector<VertexId> tracked(std::min(num_vertices, k));
-  for (size_t i = 0; i < tracked.size(); ++i) {
-    tracked[i] = static_cast<VertexId>(i);
-  }
-  return tracked;
-}
-
-/// Shared body of NamedShardedSpec (tin != nullptr) and StreamShardedSpec
-/// (tin == nullptr): the decomposability classification is identical;
-/// only Selective's selection step and the non-decomposable fallback
-/// factory differ between the materialized and streaming forms.
-StatusOr<ShardedSpec> ShardedSpecImpl(std::string_view name,
-                                      const DatasetStats& stats,
-                                      const ScalableParams& params,
-                                      const Tin* tin) {
-  ShardedSpec spec;
-  const size_t n = stats.num_vertices;
-  const auto kind = PolicyKindFromName(name);
-  const std::string lower = AsciiLower(name);
-  // Order-based policies consume entries across labels, the dense
-  // representation is memory-gated, and BudgetTracker's shrink ranks a
-  // vertex's whole list — none of those decompose; everything
-  // label-linear gets a make_shard closure below, with its selection
-  // preprocessing run exactly once and captured.
-  if (kind.ok() && *kind == PolicyKind::kProportionalSparse) {
-    spec.decomposable = true;
-    spec.label_count = n;
-    spec.make_shard = [n] {
-      return std::make_unique<ProportionalSparseTracker>(n);
-    };
-  } else if (!kind.ok() && lower == "windowed") {
-    spec.decomposable = true;
-    spec.label_count = n;
-    spec.make_shard = [n, window = params.window] {
-      return std::make_unique<WindowedTracker>(n, window);
-    };
-  } else if (!kind.ok() && lower == "selective") {
-    spec.decomposable = true;
-    spec.label_count = n;
-    spec.make_shard =
-        [n, tracked = tin != nullptr
-                          ? TopGeneratingVertices(*tin, params.num_tracked)
-                          : FirstVertices(n, params.num_tracked)] {
-          return std::make_unique<SelectiveTracker>(n, tracked);
-        };
-  } else if (!kind.ok() && lower == "grouped") {
-    const size_t k = std::max<size_t>(1, params.num_groups);
-    spec.decomposable = true;
-    spec.label_count = k;  // labels are group ids, not vertices
-    spec.make_shard = [n, k, groups = RoundRobinGroups(n, k)] {
-      return std::make_unique<GroupedTracker>(n, groups, k);
-    };
-  }
-
-  if (spec.decomposable) {
-    // The sequential reference is the shard factory unrestricted, so
-    // shard and reference trackers cannot drift apart: the engine's
-    // bit-identical contract rests on them sharing one configuration.
-    spec.sequential = [factory = spec.make_shard] {
-      return std::unique_ptr<Tracker>(factory());
-    };
-    return spec;
-  }
-  auto sequential = tin != nullptr
-                        ? NamedTrackerFactory(name, *tin, params)
-                        : StreamTrackerFactory(name, stats, params);
-  if (!sequential.ok()) return sequential.status();
-  spec.sequential = *std::move(sequential);
-  return spec;
-}
-
-}  // namespace
-
-StatusOr<ShardedSpec> NamedShardedSpec(std::string_view name, const Tin& tin,
-                                       const ScalableParams& params) {
-  return ShardedSpecImpl(name, tin.Stats(), params, &tin);
-}
-
-StatusOr<ShardedSpec> StreamShardedSpec(std::string_view name,
-                                        const DatasetStats& stats,
-                                        const ScalableParams& params) {
-  return ShardedSpecImpl(name, stats, params, nullptr);
+  return TrackerRegistry::Global().Factory(
+      TrackerSpec{std::string(name), params, TrackerMode::kMaterialized}, tin);
 }
 
 StatusOr<TrackerFactory> StreamTrackerFactory(std::string_view name,
                                               const DatasetStats& stats,
                                               const ScalableParams& params) {
-  const size_t n = stats.num_vertices;
-  const auto kind = PolicyKindFromName(name);
-  if (kind.ok()) {
-    return TrackerFactory(
-        [n, kind = *kind] { return CreateTracker(kind, n); });
-  }
+  return TrackerRegistry::Global().Factory(
+      TrackerSpec{std::string(name), params, TrackerMode::kStreaming}, stats);
+}
 
-  const std::string lower = AsciiLower(name);
-  if (lower == "budget") {
-    return TrackerFactory([n, budget = params.budget] {
-      return std::unique_ptr<Tracker>(
-          std::make_unique<BudgetTracker>(n, budget));
-    });
-  }
-  if (lower == "windowed" || lower == "selective" || lower == "grouped") {
-    // Same single-construction-site discipline as NamedTrackerFactory:
-    // the spec's unrestricted sequential closure IS the factory.
-    auto spec = StreamShardedSpec(name, stats, params);
-    if (!spec.ok()) return spec.status();
-    return std::move(spec->sequential);
-  }
+std::vector<std::string> AllTrackerNames() {
+  return TrackerRegistry::Global().Names();
+}
 
-  return UnknownTrackerName(name);
+StatusOr<ShardedSpec> NamedShardedSpec(std::string_view name, const Tin& tin,
+                                       const ScalableParams& params) {
+  return TrackerRegistry::Global().Sharded(
+      TrackerSpec{std::string(name), params, TrackerMode::kMaterialized}, tin);
+}
+
+StatusOr<ShardedSpec> StreamShardedSpec(std::string_view name,
+                                        const DatasetStats& stats,
+                                        const ScalableParams& params) {
+  return TrackerRegistry::Global().Sharded(
+      TrackerSpec{std::string(name), params, TrackerMode::kStreaming}, stats);
 }
 
 StatusOr<Measurement> MeasureNamedTracker(std::string_view name,
                                           const Tin& tin,
                                           const ScalableParams& params,
                                           size_t dense_memory_limit) {
-  // Same feasibility gate as MeasurePolicy; applied here directly so
-  // every branch labels its run with the caller's name, nothing more.
-  const auto kind = PolicyKindFromName(name);
-  if (kind.ok() && *kind == PolicyKind::kProportionalDense &&
-      dense_memory_limit > 0 &&
-      DenseMemoryBound(tin.num_vertices()) > dense_memory_limit) {
-    Measurement measurement;
-    measurement.feasible = false;
-    return measurement;
-  }
-  auto tracker = CreateTrackerByName(name, tin, params);
-  if (!tracker.ok()) return tracker.status();
-  return MeasureRun(tracker->get(), tin, std::string(name));
+  MeasureOptions options;
+  options.tin = &tin;
+  options.dense_memory_limit = dense_memory_limit;
+  return MeasureTracker(
+      TrackerSpec{std::string(name), params, TrackerMode::kMaterialized},
+      options);
 }
 
 StatusOr<Measurement> MeasureNamedTracker(std::string_view name,
@@ -298,27 +201,14 @@ StatusOr<Measurement> MeasureNamedTracker(std::string_view name,
                                           const ScalableParams& params,
                                           size_t dense_memory_limit,
                                           const ParallelParams& parallel) {
-  auto spec = NamedShardedSpec(name, tin, params);
-  if (!spec.ok()) return spec.status();
-  const bool decomposable = spec->decomposable;
-  ShardedReplayEngine engine(tin, *std::move(spec), parallel);
-  if (!decomposable || engine.ResolvedThreads() <= 1) {
-    // Non-decomposable or single-threaded: the classic path measures
-    // the same replay and additionally samples the in-run memory peak.
-    return MeasureNamedTracker(name, tin, params, dense_memory_limit);
-  }
-  auto result = engine.Replay();
-  if (!result.ok()) return result.status();
-  Measurement measurement;
-  // replay_seconds excludes the exchange/materialization phase, making
-  // this number comparable to MeasureRun's Process()-loop timing: a
-  // sequential tracker needs no exchange to become queryable, and
-  // neither do the shard trackers (QueryPrefix interleaves on demand).
-  measurement.seconds = result->replay_seconds;
-  measurement.peak_memory = result->num_entries * sizeof(ProvPair) +
-                            tin.num_vertices() * sizeof(double);
-  measurement.parallel = result->used_parallel_path;
-  return measurement;
+  MeasureOptions options;
+  options.tin = &tin;
+  options.dense_memory_limit = dense_memory_limit;
+  options.parallel = true;
+  options.parallel_params = parallel;
+  return MeasureTracker(
+      TrackerSpec{std::string(name), params, TrackerMode::kMaterialized},
+      options);
 }
 
 StatusOr<Measurement> MeasureNamedTracker(std::string_view name,
@@ -326,24 +216,13 @@ StatusOr<Measurement> MeasureNamedTracker(std::string_view name,
                                           const ScalableParams& params,
                                           size_t dense_memory_limit,
                                           IngestStats* ingest_stats) {
-  const DatasetStats stats = stream.Stats();
-  const auto kind = PolicyKindFromName(name);
-  if (kind.ok() && *kind == PolicyKind::kProportionalDense &&
-      dense_memory_limit > 0 &&
-      DenseMemoryBound(stats.num_vertices) > dense_memory_limit) {
-    Measurement measurement;
-    measurement.feasible = false;
-    return measurement;
-  }
-  auto factory = StreamTrackerFactory(name, stats, params);
-  if (!factory.ok()) return factory.status();
-  std::unique_ptr<Tracker> tracker = (*factory)();
-  if (tracker == nullptr) {
-    return Status::Internal("tracker factory returned null for \"" +
-                            std::string(name) + "\"");
-  }
-  return MeasureStreamRun(tracker.get(), stream, std::string(name),
-                          ingest_stats);
+  MeasureOptions options;
+  options.stream = &stream;
+  options.dense_memory_limit = dense_memory_limit;
+  options.ingest_stats = ingest_stats;
+  return MeasureTracker(
+      TrackerSpec{std::string(name), params, TrackerMode::kStreaming},
+      options);
 }
 
 }  // namespace tinprov

@@ -1,7 +1,12 @@
 // Measurement harness shared by the table/figure reproduction benches:
-// replay a tracker over a TIN, timing the run and sampling peak logical
-// provenance memory, with the paper's dense-proportional feasibility
-// gate (the "-" cells of Tables 7-8).
+// replay a tracker over a TIN or an interaction stream, timing the run
+// and sampling peak logical provenance memory, with the paper's
+// dense-proportional feasibility gate (the "-" cells of Tables 7-8).
+//
+// Tracker construction lives in analytics/registry.h (TrackerRegistry);
+// the one measurement entry point is MeasureTracker(TrackerSpec,
+// MeasureOptions). The name-taking functions at the bottom of this
+// header are deprecated wrappers kept for one release.
 #ifndef TINPROV_ANALYTICS_EXPERIMENT_H_
 #define TINPROV_ANALYTICS_EXPERIMENT_H_
 
@@ -10,10 +15,10 @@
 #include <string_view>
 #include <vector>
 
+#include "analytics/registry.h"
 #include "core/tin.h"
 #include "parallel/sharded_replay.h"
 #include "policies/tracker.h"
-#include "scalable/budget.h"
 #include "stream/ingest.h"
 #include "util/status.h"
 
@@ -52,93 +57,98 @@ StatusOr<Measurement> MeasurePolicy(PolicyKind kind, const Tin& tin,
                                     const std::string& dataset_name,
                                     size_t dense_memory_limit);
 
-/// Parameters for the scalable trackers when constructed by name. The
-/// defaults give every tracker a sensible mid-range configuration; the
-/// scalable benches sweep these explicitly instead.
-struct ScalableParams {
-  size_t window = 4096;     // WindowedTracker reset period
-  size_t num_tracked = 32;  // SelectiveTracker: top-k generating vertices
-  size_t num_groups = 32;   // GroupedTracker: round-robin group count
-  BudgetConfig budget;      // BudgetTracker capacity / keep fraction
+/// Everything that varies a measurement besides the tracker itself.
+/// Exactly one input must be set: `tin` (materialized replay) or
+/// `stream` (Tin-free streaming ingest). The remaining fields refine
+/// the run:
+///   - dense_memory_limit: the paper's feasibility gate for the dense
+///     proportional policy, applied over the input's vertex count; a
+///     zero limit disables the gate (feasible == false short-circuits
+///     the run, exactly as MeasurePolicy does).
+///   - parallel + parallel_params: replay `tin` through the sharded
+///     engine when the spec is decomposable and more than one shard
+///     resolves (results stay bit-identical either way — see
+///     parallel/sharded_replay.h). On the parallel path peak_memory is
+///     the end-of-replay logical footprint (per-interaction peak
+///     sampling would serialize the shards). Ignored for streams.
+///   - ingest_stats: receives the full ingest accounting on the
+///     streaming path (watermark, batches, peak buffering).
+struct MeasureOptions {
+  const Tin* tin = nullptr;
+  InteractionStream* stream = nullptr;
+  size_t dense_memory_limit = 0;
+  bool parallel = false;
+  ParallelParams parallel_params;
+  IngestStats* ingest_stats = nullptr;
 };
 
-/// Builds any factory-constructible tracker by display name,
-/// case-insensitively: the seven PolicyName() policies plus "Windowed",
-/// "Budget", "Selective" (tracked set = TopGeneratingVertices over
-/// `tin`), and "Grouped" (round-robin groups). Unknown names yield
-/// InvalidArgument listing the accepted names.
+/// The one measurement entry point: measures `spec` under `options`.
+/// Replaces the former MeasureNamedTracker overload family — new knobs
+/// become MeasureOptions fields, not signatures. Streaming inputs
+/// require TrackerMode::kStreaming on the spec (construction from the
+/// dataset's shape alone is part of the streaming contract).
+StatusOr<Measurement> MeasureTracker(const TrackerSpec& spec,
+                                     const MeasureOptions& options);
+
+// ---------------------------------------------------------------------------
+// Deprecated wrappers (one release): the name-based construction and
+// measurement surface that TrackerRegistry + MeasureTracker replace.
+// Each forwards verbatim; see registry.h for the migration table.
+// ---------------------------------------------------------------------------
+
+/// Deprecated: use TrackerRegistry::Global().Create({name, params}, tin).
+[[deprecated("use TrackerRegistry::Global().Create()")]]
 StatusOr<std::unique_ptr<Tracker>> CreateTrackerByName(
     std::string_view name, const Tin& tin, const ScalableParams& params);
 
-/// The construction behind CreateTrackerByName, packaged as a reusable
-/// closure for the lazy/ engines, which build one fresh tracker per
-/// query (LazyReplayEngine) or per snapshot restore (TimeTravelIndex).
-/// Selection preprocessing — Selective's TopGeneratingVertices scan,
-/// Grouped's assignment — runs once here, not per construction, so a
-/// lazy query never re-pays the paper's selection step. Name resolution
-/// matches CreateTrackerByName exactly.
+/// Deprecated: use TrackerRegistry::Global().Factory({name, params}, tin).
+[[deprecated("use TrackerRegistry::Global().Factory()")]]
 StatusOr<TrackerFactory> NamedTrackerFactory(std::string_view name,
                                              const Tin& tin,
                                              const ScalableParams& params);
 
-/// Tin-free NamedTrackerFactory for streaming pipelines: resolves the
-/// same names from the dataset's shape alone. One semantic difference
-/// is forced by streaming: "Selective" cannot pre-scan the stream for
-/// its top generators (the selection step needs a materialized log), so
-/// it tracks the params.num_tracked lowest vertex ids — a fixed a
-/// priori set. Every other name is configured identically to its
-/// materialized counterpart.
+/// Deprecated: use TrackerRegistry::Global().Factory() with a
+/// TrackerMode::kStreaming spec.
+[[deprecated("use TrackerRegistry::Global().Factory() in streaming mode")]]
 StatusOr<TrackerFactory> StreamTrackerFactory(std::string_view name,
                                               const DatasetStats& stats,
                                               const ScalableParams& params);
 
-/// Every name CreateTrackerByName accepts, in reporting order: the
-/// Table 7/8 policies first, then the Section 5.2-5.3 scalable trackers.
+/// Deprecated: use TrackerRegistry::Global().Names().
+[[deprecated("use TrackerRegistry::Global().Names()")]]
 std::vector<std::string> AllTrackerNames();
 
-/// Measures the named tracker over `tin` with MeasureRun semantics,
-/// labelling the run with `name`. The dense feasibility gate applies
-/// exactly as in MeasurePolicy; scalable names are built from `params`
-/// and always run.
+/// Deprecated: use TrackerRegistry::Global().Sharded({name, params}, tin).
+[[deprecated("use TrackerRegistry::Global().Sharded()")]]
+StatusOr<ShardedSpec> NamedShardedSpec(std::string_view name, const Tin& tin,
+                                       const ScalableParams& params);
+
+/// Deprecated: use TrackerRegistry::Global().Sharded() with a
+/// TrackerMode::kStreaming spec.
+[[deprecated("use TrackerRegistry::Global().Sharded() in streaming mode")]]
+StatusOr<ShardedSpec> StreamShardedSpec(std::string_view name,
+                                        const DatasetStats& stats,
+                                        const ScalableParams& params);
+
+/// Deprecated: use MeasureTracker with MeasureOptions{.tin,
+/// .dense_memory_limit}.
+[[deprecated("use MeasureTracker(TrackerSpec, MeasureOptions)")]]
 StatusOr<Measurement> MeasureNamedTracker(std::string_view name,
                                           const Tin& tin,
                                           const ScalableParams& params,
                                           size_t dense_memory_limit);
 
-/// Sharded-replay description of the named tracker for the parallel
-/// engine. Name resolution matches CreateTrackerByName; selection
-/// preprocessing (Selective's scan, Grouped's assignment) runs once
-/// here. Pro-rata trackers with label-linear semantics — Prop-sparse,
-/// Selective, Grouped, Windowed — come back decomposable; every other
-/// name yields a sequential-only spec the engine still accepts, so
-/// callers can pass any factory name.
-StatusOr<ShardedSpec> NamedShardedSpec(std::string_view name, const Tin& tin,
-                                       const ScalableParams& params);
-
-/// Tin-free NamedShardedSpec for the engine's streaming form
-/// (ShardedReplayEngine over DatasetStats + ReplayStream). Same
-/// decomposability classification; "Selective" uses the a-priori
-/// tracked set StreamTrackerFactory documents.
-StatusOr<ShardedSpec> StreamShardedSpec(std::string_view name,
-                                        const DatasetStats& stats,
-                                        const ScalableParams& params);
-
-/// Like MeasureNamedTracker, but replays through the parallel sharded
-/// engine when `parallel` resolves to more than one shard and the name
-/// is decomposable (results stay bit-identical either way — see
-/// parallel/sharded_replay.h). On the parallel path peak_memory is the
-/// end-of-replay logical footprint (per-interaction peak sampling would
-/// serialize the shards).
+/// Deprecated: use MeasureTracker with MeasureOptions{.parallel = true}.
+[[deprecated("use MeasureTracker(TrackerSpec, MeasureOptions)")]]
 StatusOr<Measurement> MeasureNamedTracker(std::string_view name,
                                           const Tin& tin,
                                           const ScalableParams& params,
                                           size_t dense_memory_limit,
                                           const ParallelParams& parallel);
 
-/// Streaming overload of MeasureNamedTracker: constructs the tracker
-/// from stream.Stats() alone (StreamTrackerFactory — no materialized
-/// log anywhere in the pipeline) and drives it with MeasureStreamRun.
-/// The dense feasibility gate applies over stats.num_vertices.
+/// Deprecated: use MeasureTracker with MeasureOptions{.stream} and a
+/// TrackerMode::kStreaming spec.
+[[deprecated("use MeasureTracker(TrackerSpec, MeasureOptions)")]]
 StatusOr<Measurement> MeasureNamedTracker(std::string_view name,
                                           InteractionStream& stream,
                                           const ScalableParams& params,

@@ -1,0 +1,241 @@
+#include "analytics/registry.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "policies/proportional_sparse.h"
+#include "scalable/grouped.h"
+#include "scalable/selective.h"
+#include "scalable/windowed.h"
+#include "util/strings.h"
+
+namespace tinprov {
+
+namespace {
+
+Status UnknownTrackerName(std::string_view name) {
+  std::string known;
+  for (const std::string& candidate : TrackerRegistry::Global().Names()) {
+    if (!known.empty()) known += ", ";
+    known += candidate;
+  }
+  return Status::InvalidArgument("unknown tracker name: \"" +
+                                 std::string(name) + "\" (expected one of " +
+                                 known + ")");
+}
+
+/// The streaming stand-in for Selective's selection step: a stream
+/// cannot be pre-scanned for its top generators, so the tracked set is
+/// fixed a priori as the k lowest vertex ids.
+std::vector<VertexId> FirstVertices(size_t num_vertices, size_t k) {
+  std::vector<VertexId> tracked(std::min(num_vertices, k));
+  for (size_t i = 0; i < tracked.size(); ++i) {
+    tracked[i] = static_cast<VertexId>(i);
+  }
+  return tracked;
+}
+
+/// Shared body of the two Sharded() overloads (tin != nullptr iff the
+/// spec resolved in materialized mode with a log available): the
+/// decomposability classification is identical; only Selective's
+/// selection step and the non-decomposable fallback factory differ
+/// between the materialized and streaming forms.
+StatusOr<ShardedSpec> ShardedSpecImpl(const TrackerRegistry& registry,
+                                      const TrackerSpec& tracker_spec,
+                                      const DatasetStats& stats,
+                                      const Tin* tin) {
+  ShardedSpec spec;
+  const ScalableParams& params = tracker_spec.params;
+  const size_t n = stats.num_vertices;
+  const auto kind = PolicyKindFromName(tracker_spec.name);
+  const std::string lower = AsciiLower(tracker_spec.name);
+  // Order-based policies consume entries across labels, the dense
+  // representation is memory-gated, and BudgetTracker's shrink ranks a
+  // vertex's whole list — none of those decompose; everything
+  // label-linear gets a make_shard closure below, with its selection
+  // preprocessing run exactly once and captured.
+  if (kind.ok() && *kind == PolicyKind::kProportionalSparse) {
+    spec.decomposable = true;
+    spec.label_count = n;
+    spec.make_shard = [n] {
+      return std::make_unique<ProportionalSparseTracker>(n);
+    };
+  } else if (!kind.ok() && lower == "windowed") {
+    spec.decomposable = true;
+    spec.label_count = n;
+    spec.make_shard = [n, window = params.window] {
+      return std::make_unique<WindowedTracker>(n, window);
+    };
+  } else if (!kind.ok() && lower == "selective") {
+    spec.decomposable = true;
+    spec.label_count = n;
+    spec.make_shard =
+        [n, tracked = tin != nullptr
+                          ? TopGeneratingVertices(*tin, params.num_tracked)
+                          : FirstVertices(n, params.num_tracked)] {
+          return std::make_unique<SelectiveTracker>(n, tracked);
+        };
+  } else if (!kind.ok() && lower == "grouped") {
+    const size_t k = std::max<size_t>(1, params.num_groups);
+    spec.decomposable = true;
+    spec.label_count = k;  // labels are group ids, not vertices
+    spec.make_shard = [n, k, groups = RoundRobinGroups(n, k)] {
+      return std::make_unique<GroupedTracker>(n, groups, k);
+    };
+  }
+
+  if (spec.decomposable) {
+    // The sequential reference is the shard factory unrestricted, so
+    // shard and reference trackers cannot drift apart: the engine's
+    // bit-identical contract rests on them sharing one configuration.
+    spec.sequential = [factory = spec.make_shard] {
+      return std::unique_ptr<Tracker>(factory());
+    };
+    return spec;
+  }
+  auto sequential = tin != nullptr ? registry.Factory(tracker_spec, *tin)
+                                   : registry.Factory(tracker_spec, stats);
+  if (!sequential.ok()) return sequential.status();
+  spec.sequential = *std::move(sequential);
+  return spec;
+}
+
+StatusOr<std::unique_ptr<Tracker>> BuildOne(StatusOr<TrackerFactory> factory,
+                                            const TrackerSpec& spec) {
+  if (!factory.ok()) return factory.status();
+  std::unique_ptr<Tracker> tracker = (*factory)();
+  if (tracker == nullptr) {
+    return Status::Internal("tracker factory returned null for \"" +
+                            spec.name + "\"");
+  }
+  return tracker;
+}
+
+}  // namespace
+
+const TrackerRegistry& TrackerRegistry::Global() {
+  static const TrackerRegistry registry;
+  return registry;
+}
+
+std::vector<std::string> TrackerRegistry::Names() const {
+  std::vector<std::string> names;
+  for (const PolicyKind kind : AllPolicies()) {
+    names.emplace_back(PolicyName(kind));
+  }
+  names.emplace_back("Selective");
+  names.emplace_back("Grouped");
+  names.emplace_back("Windowed");
+  names.emplace_back("Budget");
+  return names;
+}
+
+Status TrackerRegistry::Validate(const TrackerSpec& spec) const {
+  if (PolicyKindFromName(spec.name).ok()) return Status::Ok();
+  const std::string lower = AsciiLower(spec.name);
+  if (lower == "budget" || lower == "windowed" || lower == "selective" ||
+      lower == "grouped") {
+    return Status::Ok();
+  }
+  return UnknownTrackerName(spec.name);
+}
+
+StatusOr<TrackerFactory> TrackerRegistry::Factory(const TrackerSpec& spec,
+                                                  const Tin& tin) const {
+  if (spec.mode == TrackerMode::kStreaming) {
+    // Streaming resolution is defined over the dataset's shape alone;
+    // routing through the stats overload keeps that true even when a
+    // log happens to be available.
+    return Factory(spec, tin.Stats());
+  }
+  const size_t n = tin.num_vertices();
+  const auto kind = PolicyKindFromName(spec.name);
+  if (kind.ok()) {
+    return TrackerFactory([n, kind = *kind] { return CreateTracker(kind, n); });
+  }
+
+  const std::string lower = AsciiLower(spec.name);
+  if (lower == "budget") {
+    return TrackerFactory([n, budget = spec.params.budget] {
+      return std::unique_ptr<Tracker>(
+          std::make_unique<BudgetTracker>(n, budget));
+    });
+  }
+  if (lower == "windowed" || lower == "selective" || lower == "grouped") {
+    // Label-decomposable trackers are constructed in exactly one place
+    // — Sharded() — and the sequential closure there is the shard
+    // factory unrestricted, so the parallel engine and this factory can
+    // never configure the same name differently. The selection
+    // preprocessing (Selective's scan, Grouped's assignment) still runs
+    // once, captured in the closure; per-query construction stays cheap.
+    auto sharded = Sharded(spec, tin);
+    if (!sharded.ok()) return sharded.status();
+    return std::move(sharded->sequential);
+  }
+
+  return UnknownTrackerName(spec.name);
+}
+
+StatusOr<TrackerFactory> TrackerRegistry::Factory(
+    const TrackerSpec& spec, const DatasetStats& stats) const {
+  if (spec.mode == TrackerMode::kMaterialized) {
+    return Status::InvalidArgument(
+        "materialized-mode spec \"" + spec.name +
+        "\" resolved from DatasetStats alone: selection preprocessing "
+        "needs a log — pass a Tin or set TrackerMode::kStreaming");
+  }
+  const size_t n = stats.num_vertices;
+  const auto kind = PolicyKindFromName(spec.name);
+  if (kind.ok()) {
+    return TrackerFactory([n, kind = *kind] { return CreateTracker(kind, n); });
+  }
+
+  const std::string lower = AsciiLower(spec.name);
+  if (lower == "budget") {
+    return TrackerFactory([n, budget = spec.params.budget] {
+      return std::unique_ptr<Tracker>(
+          std::make_unique<BudgetTracker>(n, budget));
+    });
+  }
+  if (lower == "windowed" || lower == "selective" || lower == "grouped") {
+    // Same single-construction-site discipline as the materialized
+    // overload: the spec's unrestricted sequential closure IS the
+    // factory.
+    auto sharded = Sharded(spec, stats);
+    if (!sharded.ok()) return sharded.status();
+    return std::move(sharded->sequential);
+  }
+
+  return UnknownTrackerName(spec.name);
+}
+
+StatusOr<std::unique_ptr<Tracker>> TrackerRegistry::Create(
+    const TrackerSpec& spec, const Tin& tin) const {
+  return BuildOne(Factory(spec, tin), spec);
+}
+
+StatusOr<std::unique_ptr<Tracker>> TrackerRegistry::Create(
+    const TrackerSpec& spec, const DatasetStats& stats) const {
+  return BuildOne(Factory(spec, stats), spec);
+}
+
+StatusOr<ShardedSpec> TrackerRegistry::Sharded(const TrackerSpec& spec,
+                                               const Tin& tin) const {
+  // Streaming mode keeps Selective's a-priori tracked set even though a
+  // log is present, matching what Factory(spec, tin) would build.
+  const Tin* log = spec.mode == TrackerMode::kMaterialized ? &tin : nullptr;
+  return ShardedSpecImpl(*this, spec, tin.Stats(), log);
+}
+
+StatusOr<ShardedSpec> TrackerRegistry::Sharded(
+    const TrackerSpec& spec, const DatasetStats& stats) const {
+  if (spec.mode == TrackerMode::kMaterialized) {
+    return Status::InvalidArgument(
+        "materialized-mode spec \"" + spec.name +
+        "\" resolved from DatasetStats alone: selection preprocessing "
+        "needs a log — pass a Tin or set TrackerMode::kStreaming");
+  }
+  return ShardedSpecImpl(*this, spec, stats, nullptr);
+}
+
+}  // namespace tinprov

@@ -93,7 +93,10 @@ TrackerFactory PolicyTrackerFactory(const Tin& tin, PolicyKind kind) {
 }
 
 LazyReplayEngine::LazyReplayEngine(const Tin& tin, PolicyKind kind)
-    : tin_(&tin), factory_(PolicyTrackerFactory(tin, kind)) {}
+    : tin_(&tin),
+      factory_([kind, n = tin.num_vertices()] {
+        return CreateTracker(kind, n);
+      }) {}
 
 LazyReplayEngine::LazyReplayEngine(const Tin& tin, TrackerFactory factory)
     : tin_(&tin), factory_(std::move(factory)) {}

@@ -44,8 +44,10 @@ struct ReplayStats {
 /// prefix shared by the lazy engine and the time-travel index.
 size_t PrefixLength(const Tin& tin, Timestamp t);
 
-/// CreateTracker(kind, tin.num_vertices()) packaged as a TrackerFactory
-/// — the policy-kind construction path of both lazy engines.
+/// Deprecated: use TrackerRegistry::Global().Factory() (or capture
+/// CreateTracker in a lambda below the analytics layer). Kept one
+/// release as a wrapper over CreateTracker(kind, tin.num_vertices()).
+[[deprecated("use TrackerRegistry::Global().Factory()")]]
 TrackerFactory PolicyTrackerFactory(const Tin& tin, PolicyKind kind);
 
 /// Indices (into tin.interactions(), ascending and therefore in time

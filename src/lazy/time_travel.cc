@@ -11,7 +11,9 @@ namespace tinprov {
 
 StatusOr<std::unique_ptr<TimeTravelIndex>> TimeTravelIndex::Build(
     const Tin& tin, PolicyKind kind, size_t snapshot_interval) {
-  return Build(tin, PolicyTrackerFactory(tin, kind), snapshot_interval);
+  const size_t n = tin.num_vertices();
+  return Build(
+      tin, [kind, n] { return CreateTracker(kind, n); }, snapshot_interval);
 }
 
 StatusOr<std::unique_ptr<TimeTravelIndex>> TimeTravelIndex::Build(
@@ -158,6 +160,43 @@ StatusOr<Buffer> TimeTravelIndex::Provenance(VertexId v, Timestamp t) const {
   }
   TINPROV_COUNTER_ADD("timetravel.delta_interactions", prefix - start);
   return tracker->Provenance(v);
+}
+
+Status TimeTravelIndex::SaveFinalState(std::vector<uint8_t>* out) const {
+  if (out == nullptr) {
+    return Status::InvalidArgument("null output buffer");
+  }
+  if (!finalized_) {
+    return Status::FailedPrecondition(
+        "time-travel index is still ingesting — call Finalize() first");
+  }
+  std::unique_ptr<Tracker> tracker = factory_();
+  if (tracker == nullptr) {
+    return Status::Internal("tracker factory returned null");
+  }
+  size_t start = 0;
+  if (!snapshots_.empty()) {
+    const Snapshot& snapshot = snapshots_.back();
+    const Status status =
+        tracker->RestoreState(snapshot.state.data(), snapshot.state.size());
+    if (!status.ok()) {
+      return Status(status.code(), "restoring snapshot at prefix " +
+                                       std::to_string(snapshot.prefix) + ": " +
+                                       status.message());
+    }
+    start = snapshot.prefix;
+  }
+  const auto& log = tin_->interactions();
+  for (size_t i = start; i < log.size(); ++i) {
+    const Status status = tracker->Process(log[i]);
+    if (!status.ok()) {
+      return Status(status.code(), "final-state replay at interaction " +
+                                       std::to_string(i) + ": " +
+                                       status.message());
+    }
+  }
+  tracker->SaveState(out);
+  return Status::Ok();
 }
 
 size_t TimeTravelIndex::MemoryUsage() const {

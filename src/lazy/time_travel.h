@@ -82,6 +82,23 @@ class TimeTravelIndex {
   size_t num_snapshots() const { return snapshots_.size(); }
   size_t snapshot_interval() const { return interval_; }
 
+  /// Vertex count the index was built over.
+  size_t num_vertices() const { return num_vertices_; }
+
+  /// Interactions observed so far — the prefix length at watermark().
+  size_t num_observed() const { return observed_; }
+
+  /// Serializes the tracker state at the index's watermark (every
+  /// observed interaction applied), appending to `out` in Tracker
+  /// SaveState() format: RestoreState() on an identically configured
+  /// tracker resumes replay bit-exactly after the last observed
+  /// interaction. Stateless — the index keeps no end-of-log tracker, so
+  /// this restores the newest snapshot and replays the tail delta (at
+  /// most snapshot_interval interactions). The serve layer uses this to
+  /// hand a historical index's final state to a live tracker.
+  /// FailedPrecondition before Finalize().
+  Status SaveFinalState(std::vector<uint8_t>* out) const;
+
   /// Standing bytes of serialized snapshot state plus the per-snapshot
   /// prefix bookkeeping (excluding container-header overhead, matching
   /// the Tracker::MemoryUsage() accounting convention). A streaming

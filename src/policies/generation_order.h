@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "core/buffer_io.h"
+#include "obs/metrics.h"
 #include "policies/tracker.h"
 
 namespace tinprov {
@@ -65,6 +66,23 @@ class GenerationOrderTracker : public Tracker {
   size_t MemoryUsage() const override {
     return num_entries_ * sizeof(ProvTriple) +
            totals_.capacity() * sizeof(double);
+  }
+
+  size_t MemoryBytes() const override {
+    // Heap capacities, not live tuples: what the allocator is actually
+    // holding for this tracker. O(|V|), sampled per batch.
+    size_t bytes =
+        totals_.capacity() * sizeof(double) +
+        buffers_.capacity() * sizeof(BinaryHeap<ProvTriple, BirthOrder>) +
+        scratch_.capacity() * sizeof(ProvTriple);
+    for (const BinaryHeap<ProvTriple, BirthOrder>& buffer : buffers_) {
+      bytes += buffer.capacity() * sizeof(ProvTriple);
+    }
+    return bytes;
+  }
+
+  void PublishMetrics() const override {
+    TINPROV_GAUGE_SET("tracker.entries", num_entries());
   }
 
   size_t num_entries() const { return num_entries_; }

@@ -162,6 +162,21 @@ size_t SparseProportionalBase::MemoryUsage() const {
          totals_.capacity() * sizeof(double) + AuxiliaryBytes();
 }
 
+size_t SparseProportionalBase::MemoryBytes() const {
+  // Real reservations, not stored tuples: the pool holds every list's
+  // backing storage (including scratch_ and freed blocks awaiting
+  // reuse), so pool bytes + the per-vertex arrays is the allocator-level
+  // footprint the logical MemoryUsage() deliberately excludes.
+  return pool_.bytes_reserved() + totals_.capacity() * sizeof(double) +
+         buffers_.capacity() * sizeof(SparseVector) + AuxiliaryBytes();
+}
+
+void SparseProportionalBase::PublishMetrics() const {
+  TINPROV_GAUGE_SET("memory.pool_bytes", PoolBytesReserved());
+  TINPROV_GAUGE_SET("tracker.alpha_residue", AlphaResidue());
+  TINPROV_GAUGE_SET("tracker.entries", num_entries());
+}
+
 void SparseProportionalBase::ReserveEntries(size_t count) {
   pool_.Reserve(count * sizeof(ProvPair));
 }

@@ -54,6 +54,8 @@ class SparseProportionalBase : public Tracker {
   double BufferTotal(VertexId v) const override { return totals_[v]; }
   Buffer Provenance(VertexId v) const override;
   size_t MemoryUsage() const override;
+  size_t MemoryBytes() const override;
+  void PublishMetrics() const override;
   using Tracker::ReserveHint;  // keep the Tin convenience form visible
   void ReserveHint(const DatasetStats& stats) override;
 

@@ -1,6 +1,7 @@
 #include "policies/receipt_order.h"
 
 #include "core/buffer_io.h"
+#include "obs/metrics.h"
 
 namespace tinprov {
 
@@ -84,6 +85,22 @@ Buffer ReceiptOrderTracker::Provenance(VertexId v) const {
 size_t ReceiptOrderTracker::MemoryUsage() const {
   return num_entries_ * sizeof(ProvPair) +
          totals_.capacity() * sizeof(double);
+}
+
+size_t ReceiptOrderTracker::MemoryBytes() const {
+  // Ring capacities, not live tuples: what the allocator is actually
+  // holding for this tracker. O(|V|), sampled per batch.
+  size_t bytes = totals_.capacity() * sizeof(double) +
+                 buffers_.capacity() * sizeof(RingDeque<ProvPair>) +
+                 scratch_.capacity() * sizeof(ProvPair);
+  for (const RingDeque<ProvPair>& buffer : buffers_) {
+    bytes += buffer.capacity() * sizeof(ProvPair);
+  }
+  return bytes;
+}
+
+void ReceiptOrderTracker::PublishMetrics() const {
+  TINPROV_GAUGE_SET("tracker.entries", num_entries());
 }
 
 void ReceiptOrderTracker::SaveStateBody(ByteWriter* writer) const {

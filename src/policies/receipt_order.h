@@ -20,6 +20,8 @@ class ReceiptOrderTracker : public Tracker {
   double BufferTotal(VertexId v) const override { return totals_[v]; }
   Buffer Provenance(VertexId v) const override;
   size_t MemoryUsage() const override;
+  size_t MemoryBytes() const override;
+  void PublishMetrics() const override;
 
   /// Tuples currently stored across all buffers.
   size_t num_entries() const { return num_entries_; }

@@ -93,6 +93,23 @@ class Tracker {
   /// be O(1): measurement harnesses sample it inside the replay loop.
   virtual size_t MemoryUsage() const = 0;
 
+  /// Allocator-level footprint: bytes of backing storage the tracker has
+  /// actually reserved — pools, arenas, container capacities — as
+  /// opposed to MemoryUsage()'s logical tuple accounting. The default
+  /// reports the logical bytes (a floor every representation satisfies);
+  /// trackers that over-allocate (pooled lists, ring deques, heaps)
+  /// override it so the ingest/serve memory gauges see real
+  /// reservations, whatever the policy. May be O(num_vertices): callers
+  /// sample it once per batch, never per interaction.
+  virtual size_t MemoryBytes() const { return MemoryUsage(); }
+
+  /// Publishes representation-specific obs/ gauges (pool bytes, alpha
+  /// residue, standing entry count). StreamIngestor calls this once per
+  /// applied batch — it replaces the ingestor's old
+  /// dynamic_cast<SparseProportionalBase*> probe, which silently skipped
+  /// every non-pro-rata tracker. The default publishes nothing.
+  virtual void PublishMetrics() const {}
+
   /// Serializes the tracker's complete mutable replay state, appending
   /// to `out`. The format is policy-private (util/serialize.h framing);
   /// its only contract is that RestoreState() on a tracker constructed

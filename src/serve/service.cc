@@ -1,0 +1,497 @@
+#include "serve/service.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace tinprov {
+
+namespace {
+
+/// Fixed log-chunk capacity. Chunks are reserved once and never
+/// reallocate, so a published view's chunk pointers stay valid while
+/// the writer fills later slots of the newest chunk.
+constexpr size_t kChunkCapacity = 4096;
+
+bool TopOriginOrder(const ProvPair& a, const ProvPair& b) {
+  if (a.quantity != b.quantity) return a.quantity > b.quantity;
+  return a.origin < b.origin;
+}
+
+}  // namespace
+
+/// The immutable state one atomic publish makes visible. Readers pin a
+/// view with atomic_load and may then use everything it references for
+/// as long as they hold the shared_ptr; the writer never mutates a
+/// published view, it builds a successor and swaps the pointer.
+struct ProvenanceService::EpochView {
+  struct Epoch {
+    EpochInfo info;
+    std::shared_ptr<const Tracker> tracker;  // restored, read-only
+    std::shared_ptr<const std::vector<uint8_t>> state;
+  };
+
+  struct Snapshot {
+    size_t prefix = 0;
+    std::shared_ptr<const std::vector<uint8_t>> state;
+  };
+
+  /// Recent epochs, oldest first; back() is the newest and always
+  /// present (epoch 0 is published before any reader exists).
+  std::vector<std::shared_ptr<const Epoch>> ring;
+
+  /// Chunked log: entries [0, ring.back()->info.prefix) are valid —
+  /// written before this view's release-store. Empty when history
+  /// retention is off.
+  std::vector<std::shared_ptr<std::vector<Interaction>>> chunks;
+
+  /// Every published epoch's byte image, ascending by prefix, for
+  /// nearest-snapshot + delta-replay historical queries. Starts with
+  /// the prefix-0 initial/handoff state. Empty when retention is off.
+  std::vector<Snapshot> snapshots;
+
+  const Epoch& Latest() const { return *ring.back(); }
+
+  const Interaction& LogAt(size_t i) const {
+    return chunks[i / kChunkCapacity]->data()[i % kChunkCapacity];
+  }
+
+  /// Count of logged interactions with timestamp <= t, searching only
+  /// the published prefix.
+  size_t UpperBound(Timestamp t) const {
+    size_t lo = 0;
+    size_t hi = Latest().info.prefix;
+    while (lo < hi) {
+      const size_t mid = lo + (hi - lo) / 2;
+      if (LogAt(mid).t <= t) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+};
+
+/// Tee stream the writer wraps its source in: every pulled interaction
+/// is appended to the service's chunked log before the ingestor sees
+/// it, so the published log prefix always covers the applied prefix.
+class ProvenanceService::LogSink : public InteractionStream {
+ public:
+  LogSink(ProvenanceService* service, InteractionStream* inner)
+      : service_(service), inner_(inner) {}
+
+  bool Next(Interaction* out) override {
+    if (!inner_->Next(out)) return false;
+    service_->AppendLog(*out);
+    return true;
+  }
+
+  DatasetStats Stats() const override { return inner_->Stats(); }
+
+ private:
+  ProvenanceService* service_;
+  InteractionStream* inner_;
+};
+
+StatusOr<std::unique_ptr<ProvenanceService>> ProvenanceService::Create(
+    const TrackerSpec& spec, const DatasetStats& stats, ServeOptions options) {
+  return CreateWithHistory(spec, stats, nullptr, options);
+}
+
+StatusOr<std::unique_ptr<ProvenanceService>>
+ProvenanceService::CreateWithHistory(
+    const TrackerSpec& spec, const DatasetStats& stats,
+    std::shared_ptr<const TimeTravelIndex> history, ServeOptions options) {
+  auto factory = TrackerRegistry::Global().Factory(spec, stats);
+  if (!factory.ok()) return factory.status();
+  std::vector<uint8_t> handoff;
+  const std::vector<uint8_t>* handoff_state = nullptr;
+  if (history != nullptr) {
+    if (!history->finalized()) {
+      return Status::FailedPrecondition(
+          "serve handoff needs a finalized time-travel index");
+    }
+    if (history->num_vertices() != stats.num_vertices) {
+      return Status::InvalidArgument(
+          "handoff index has " + std::to_string(history->num_vertices()) +
+          " vertices, service expects " + std::to_string(stats.num_vertices));
+    }
+    const Status status = history->SaveFinalState(&handoff);
+    if (!status.ok()) return status;
+    handoff_state = &handoff;
+  }
+  std::unique_ptr<ProvenanceService> service(new ProvenanceService(
+      *std::move(factory), stats, options, std::move(history)));
+  const Status status = service->Init(handoff_state);
+  if (!status.ok()) return status;
+  return service;
+}
+
+ProvenanceService::ProvenanceService(
+    TrackerFactory factory, const DatasetStats& stats,
+    const ServeOptions& options, std::shared_ptr<const TimeTravelIndex> history)
+    : factory_(std::move(factory)),
+      stats_(stats),
+      options_(options),
+      history_(std::move(history)),
+      history_watermark_(history_ != nullptr
+                             ? history_->watermark()
+                             : std::numeric_limits<Timestamp>::lowest()) {
+  if (options_.epoch_interval == 0) options_.epoch_interval = 1;
+  if (options_.ring_size == 0) options_.ring_size = 1;
+  if (options_.ingest_batch == 0) options_.ingest_batch = 1;
+  pool_ = std::make_unique<QueryWorkerPool>(
+      [this](const QueryRequest& request) { return Execute(request); },
+      options_.num_query_threads);
+}
+
+ProvenanceService::~ProvenanceService() {
+  // Workers execute through `this`; stop them before anything else.
+  pool_.reset();
+#if !defined(TINPROV_NO_THREADS)
+  if (writer_.joinable()) writer_.join();
+#endif
+}
+
+Status ProvenanceService::Init(const std::vector<uint8_t>* handoff_state) {
+  live_tracker_ = factory_();
+  if (live_tracker_ == nullptr) {
+    return Status::Internal("tracker factory returned null");
+  }
+  auto state = std::make_shared<std::vector<uint8_t>>();
+  if (handoff_state != nullptr) {
+    *state = *handoff_state;
+    const Status status = live_tracker_->RestoreState(*state);
+    if (!status.ok()) {
+      return Status(status.code(),
+                    "restoring handoff state into the live tracker (is the "
+                    "spec configured like the index's trackers?): " +
+                        status.message());
+    }
+  } else {
+    live_tracker_->SaveState(state.get());
+  }
+  live_tracker_->ReserveHint({stats_.num_vertices, stats_.num_interactions});
+
+  // Epoch 0: the pre-ingest state, published before any reader or the
+  // writer exists, so latest_ is never null and plain stores suffice.
+  auto epoch = std::make_shared<EpochView::Epoch>();
+  epoch->info.seq = next_seq_++;
+  epoch->info.prefix = 0;
+  epoch->info.watermark = history_watermark_;
+  std::unique_ptr<Tracker> restored = factory_();
+  if (restored == nullptr) {
+    return Status::Internal("tracker factory returned null");
+  }
+  const Status status = restored->RestoreState(*state);
+  if (!status.ok()) {
+    return Status(status.code(),
+                  "restoring epoch 0 state: " + status.message());
+  }
+  epoch->tracker = std::move(restored);
+  epoch->state = state;
+
+  auto view = std::make_shared<EpochView>();
+  view->ring.push_back(std::move(epoch));
+  if (options_.retain_history) {
+    view->snapshots.push_back({0, state});
+    snapshot_bytes_ += state->size();
+  }
+  latest_ = std::move(view);
+  return Status::Ok();
+}
+
+void ProvenanceService::AppendLog(const Interaction& interaction) {
+  if (!options_.retain_history) return;
+  if (chunks_.empty() || chunks_.back()->size() == kChunkCapacity) {
+    auto chunk = std::make_shared<std::vector<Interaction>>();
+    chunk->reserve(kChunkCapacity);
+    chunks_.push_back(std::move(chunk));
+  }
+  chunks_.back()->push_back(interaction);
+  ++log_size_;
+}
+
+Status ProvenanceService::PublishEpoch(size_t prefix, Timestamp watermark) {
+  TINPROV_SCOPED_LATENCY_NS("serve.snapshot_publish_ns");
+  obs::TraceSpan span("serve.publish_epoch", "serve");
+
+  auto state = std::make_shared<std::vector<uint8_t>>();
+  live_tracker_->SaveState(state.get());
+  std::unique_ptr<Tracker> restored = factory_();
+  if (restored == nullptr) {
+    return Status::Internal("tracker factory returned null");
+  }
+  Status status = restored->RestoreState(*state);
+  if (!status.ok()) {
+    return Status(status.code(), "restoring epoch " +
+                                     std::to_string(next_seq_) + " state: " +
+                                     status.message());
+  }
+
+  auto epoch = std::make_shared<EpochView::Epoch>();
+  epoch->info.seq = next_seq_++;
+  epoch->info.prefix = prefix;
+  epoch->info.watermark = watermark;
+  epoch->tracker = std::move(restored);
+  epoch->state = state;
+
+  // Build the successor view from the current one. The writer is the
+  // only publisher, so a plain copy of the previous view's members is
+  // race-free; readers keep pinning the old view until the store below.
+  const std::shared_ptr<const EpochView> prev = PinView();
+  auto view = std::make_shared<EpochView>();
+  view->ring = prev->ring;
+  view->ring.push_back(std::move(epoch));
+  while (view->ring.size() > options_.ring_size) {
+    view->ring.erase(view->ring.begin());
+  }
+  view->chunks = chunks_;
+  view->snapshots = prev->snapshots;
+  if (options_.retain_history) {
+    view->snapshots.push_back({prefix, state});
+    snapshot_bytes_ += state->size();
+  }
+  std::atomic_store_explicit(&latest_,
+                             std::shared_ptr<const EpochView>(std::move(view)),
+                             std::memory_order_release);
+
+  TINPROV_COUNTER_ADD("serve.epochs_published", 1);
+  TINPROV_HISTOGRAM_OBSERVE("serve.epoch_age_ns",
+                            since_publish_.ElapsedNanos());
+  since_publish_.Restart();
+  TINPROV_GAUGE_SET("serve.epoch_seq", next_seq_ - 1);
+  TINPROV_GAUGE_SET("serve.epoch_prefix", prefix);
+  TINPROV_GAUGE_SET("memory.serve_log_bytes", log_size_ * sizeof(Interaction));
+  TINPROV_GAUGE_SET("memory.serve_snapshot_bytes", snapshot_bytes_);
+  TINPROV_GAUGE_SET("memory.serve_epoch_state_bytes", state->size());
+  return Status::Ok();
+}
+
+Status ProvenanceService::RunIngest() {
+  obs::TraceSpan span("serve.ingest", "serve");
+  LogSink sink(this, stream_.get());
+  IngestOptions ingest_options;
+  ingest_options.batch_size = std::min(options_.ingest_batch,
+                                       options_.epoch_interval);
+  ingest_options.initial_watermark = history_watermark_;
+  StreamIngestor ingestor(live_tracker_.get(), ingest_options);
+
+  size_t last_published = 0;
+  bool done = false;
+  while (!done) {
+    Status status = ingestor.IngestBatch(sink, &done);
+    if (!status.ok()) {
+      final_ingest_stats_ = ingestor.stats();
+      return status;
+    }
+    const IngestStats& stats = ingestor.stats();
+    if (stats.interactions - last_published >= options_.epoch_interval) {
+      last_published = stats.interactions;
+      status = PublishEpoch(stats.interactions,
+                            std::max(stats.watermark, history_watermark_));
+      if (!status.ok()) {
+        final_ingest_stats_ = stats;
+        return status;
+      }
+    }
+  }
+  final_ingest_stats_ = ingestor.stats();
+  if (final_ingest_stats_.interactions != last_published) {
+    // Final epoch: every applied interaction visible to readers.
+    const Status status = PublishEpoch(
+        final_ingest_stats_.interactions,
+        std::max(final_ingest_stats_.watermark, history_watermark_));
+    if (!status.ok()) return status;
+  }
+  return Status::Ok();
+}
+
+Status ProvenanceService::Start(std::unique_ptr<InteractionStream> stream) {
+  if (stream == nullptr) {
+    return Status::InvalidArgument("null ingest stream");
+  }
+  if (started_.exchange(true)) {
+    return Status::FailedPrecondition("service already started");
+  }
+  stream_ = std::move(stream);
+  since_publish_.Restart();
+#if defined(TINPROV_NO_THREADS)
+  ingest_status_ = RunIngest();
+  ingest_done_.store(true, std::memory_order_release);
+#else
+  writer_ = std::thread([this] {
+    ingest_status_ = RunIngest();
+    ingest_done_.store(true, std::memory_order_release);
+  });
+#endif
+  return Status::Ok();
+}
+
+Status ProvenanceService::WaitIngest() {
+  if (!started_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("service not started");
+  }
+#if !defined(TINPROV_NO_THREADS)
+  if (writer_.joinable()) writer_.join();
+#endif
+  ingest_joined_ = true;
+  return ingest_status_;
+}
+
+EpochInfo ProvenanceService::LatestEpoch() const {
+  return PinView()->Latest().info;
+}
+
+QueryResult ProvenanceService::Provenance(VertexId v) const {
+  TINPROV_SCOPED_LATENCY_NS("serve.query_ns");
+  TINPROV_COUNTER_ADD("serve.queries", 1);
+  QueryResult result;
+  const std::shared_ptr<const EpochView> view = PinView();
+  const EpochView::Epoch& epoch = view->Latest();
+  result.epoch = epoch.info;
+  if (v >= stats_.num_vertices) {
+    result.status = Status::InvalidArgument("query vertex " +
+                                            std::to_string(v) +
+                                            " out of range");
+    return result;
+  }
+  result.buffer = epoch.tracker->Provenance(v);
+  return result;
+}
+
+QueryResult ProvenanceService::TopOrigins(VertexId v, size_t k) const {
+  QueryResult result = Provenance(v);
+  if (!result.status.ok()) return result;
+  std::vector<ProvPair>& entries = result.buffer.entries;
+  if (k < entries.size()) {
+    std::partial_sort(entries.begin(), entries.begin() + k, entries.end(),
+                      TopOriginOrder);
+    entries.resize(k);
+  } else {
+    std::sort(entries.begin(), entries.end(), TopOriginOrder);
+  }
+  return result;
+}
+
+QueryResult ProvenanceService::Provenance(VertexId v, Timestamp t) const {
+  TINPROV_SCOPED_LATENCY_NS("serve.query_ns");
+  TINPROV_COUNTER_ADD("serve.queries", 1);
+  return ProvenanceAt(v, t);
+}
+
+QueryResult ProvenanceService::ProvenanceAt(VertexId v, Timestamp t) const {
+  QueryResult result;
+  const std::shared_ptr<const EpochView> view = PinView();
+  const EpochView::Epoch& latest = view->Latest();
+  result.epoch = latest.info;
+  if (v >= stats_.num_vertices) {
+    result.status = Status::InvalidArgument("query vertex " +
+                                            std::to_string(v) +
+                                            " out of range");
+    return result;
+  }
+
+  // Pre-handoff times belong to the time-travel index: its log covers
+  // everything strictly before the handoff watermark (the live log
+  // continues at or after it).
+  if (history_ != nullptr && t < history_watermark_) {
+    TINPROV_COUNTER_ADD("serve.history_queries", 1);
+    auto buffer = history_->Provenance(v, t);
+    if (!buffer.ok()) {
+      result.status = buffer.status();
+      return result;
+    }
+    result.buffer = *std::move(buffer);
+    return result;
+  }
+
+  // Live side. t at or past the epoch watermark resolves to the full
+  // published prefix, i.e. the latest epoch itself — the fast path.
+  const size_t target =
+      options_.retain_history
+          ? view->UpperBound(t)
+          : (t >= latest.info.watermark ? latest.info.prefix
+                                        : latest.info.prefix + 1);
+  if (target == latest.info.prefix) {
+    result.buffer = latest.tracker->Provenance(v);
+    return result;
+  }
+
+  // Exact-prefix hit in the ring: some recent epoch is the wanted state.
+  for (const std::shared_ptr<const EpochView::Epoch>& epoch : view->ring) {
+    if (epoch->info.prefix == target) {
+      result.buffer = epoch->tracker->Provenance(v);
+      result.epoch = epoch->info;
+      return result;
+    }
+  }
+
+  if (!options_.retain_history) {
+    result.status = Status::FailedPrecondition(
+        "historical query at t=" + std::to_string(t) +
+        " needs history retention (ServeOptions::retain_history) or a "
+        "handoff TimeTravelIndex");
+    return result;
+  }
+
+  // Nearest retained snapshot at or before the target, then delta
+  // replay of the pinned log — the TimeTravelIndex recipe, online.
+  // snapshots[0] (prefix 0, initial/handoff state) always exists, so
+  // the search cannot come up empty.
+  TINPROV_COUNTER_ADD("serve.historical_replays", 1);
+  TINPROV_SCOPED_LATENCY_NS("serve.historical_replay_ns");
+  const auto it = std::upper_bound(
+      view->snapshots.begin(), view->snapshots.end(), target,
+      [](size_t p, const EpochView::Snapshot& s) { return p < s.prefix; });
+  const EpochView::Snapshot& snapshot = *(it - 1);
+  std::unique_ptr<Tracker> tracker = factory_();
+  if (tracker == nullptr) {
+    result.status = Status::Internal("tracker factory returned null");
+    return result;
+  }
+  Status status = tracker->RestoreState(*snapshot.state);
+  if (!status.ok()) {
+    result.status = Status(status.code(), "restoring snapshot at prefix " +
+                                              std::to_string(snapshot.prefix) +
+                                              ": " + status.message());
+    return result;
+  }
+  for (size_t i = snapshot.prefix; i < target; ++i) {
+    status = tracker->Process(view->LogAt(i));
+    if (!status.ok()) {
+      result.status = Status(status.code(), "delta replay at interaction " +
+                                                std::to_string(i) + ": " +
+                                                status.message());
+      return result;
+    }
+  }
+  TINPROV_HISTOGRAM_OBSERVE("serve.delta_interactions",
+                            target - snapshot.prefix);
+  result.buffer = tracker->Provenance(v);
+  return result;
+}
+
+QueryResult ProvenanceService::Execute(const QueryRequest& request) const {
+  switch (request.kind) {
+    case QueryKind::kProvenance:
+      return Provenance(request.v);
+    case QueryKind::kProvenanceAt:
+      return Provenance(request.v, request.t);
+    case QueryKind::kTopOrigins:
+      return TopOrigins(request.v, request.k);
+  }
+  QueryResult result;
+  result.status = Status::InvalidArgument("unknown query kind");
+  return result;
+}
+
+std::future<QueryResult> ProvenanceService::Submit(QueryRequest request) {
+  return pool_->Submit(request);
+}
+
+}  // namespace tinprov

@@ -1,0 +1,229 @@
+// ProvenanceService: snapshot-isolated provenance queries over a live
+// ingest — the serve-while-ingesting layer.
+//
+// Every earlier layer assumes one thread owns the tracker; this one
+// splits the work. A single writer thread drives a StreamIngestor over
+// the live tracker and, every epoch_interval interactions, publishes an
+// *epoch*: the tracker's SaveState byte image restored into a fresh
+// read-only tracker, plus the watermark/prefix it is consistent with.
+// Reader threads answer Provenance(v), Provenance(v, t), and top-k
+// origin queries against published epochs only — they never touch the
+// live tracker and never take the writer's lock.
+//
+// Concurrency model (RCU-style epoch pinning):
+//   - The service holds one std::shared_ptr<const EpochView>, published
+//     with std::atomic_store (release) and pinned by readers with
+//     std::atomic_load (acquire). An EpochView is immutable after
+//     publication; pinning it keeps every state it references — the
+//     ring of recent epoch trackers, the log chunks, the snapshot byte
+//     images — alive for the duration of the query, however far the
+//     writer advances meanwhile.
+//   - The log is chunked and append-only: fixed-capacity chunks whose
+//     backing arrays never move, so a published view's chunk pointers
+//     stay valid while the writer fills later slots. Readers only read
+//     entries below their pinned view's prefix, all written before the
+//     view's release-store — no torn reads, no locks, TSan-clean.
+//   - Writer-side state (live tracker, chunk list, snapshot list) is
+//     touched only by the writer thread.
+//
+// Consistency guarantees:
+//   - Provenance(v) / TopOrigins(v, k) answer from the newest published
+//     epoch: a consistent prefix of the stream, bit-identical to a
+//     stop-the-world query at that epoch's watermark. Staleness is
+//     bounded by epoch_interval interactions (plus one in-flight
+//     batch); the answer's EpochInfo says exactly which watermark it
+//     reflects.
+//   - Provenance(v, t) is exact for any t at or below the pinned
+//     epoch's watermark: resolved from a ring epoch when one matches,
+//     otherwise nearest retained snapshot + delta replay of the pinned
+//     log (the TimeTravelIndex recipe, online). For t beyond the
+//     watermark the answer is the epoch state — complete through the
+//     watermark, with EpochInfo reporting the gap.
+//   - A service seeded from a finalized TimeTravelIndex answers
+//     t < the handoff watermark from the index and later times from its
+//     own log; the live tracker starts from the index's final state, so
+//     the two regimes meet bit-exactly at the boundary.
+#ifndef TINPROV_SERVE_SERVICE_H_
+#define TINPROV_SERVE_SERVICE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <vector>
+
+#include "analytics/registry.h"
+#include "core/buffer.h"
+#include "core/tin.h"
+#include "core/types.h"
+#include "lazy/time_travel.h"
+#include "serve/request_queue.h"
+#include "stream/ingest.h"
+#include "stream/interaction_stream.h"
+#include "util/status.h"
+#include "util/stopwatch.h"
+
+#if !defined(TINPROV_NO_THREADS)
+#include <thread>
+#endif
+
+namespace tinprov {
+
+struct ServeOptions {
+  /// Interactions between epoch publishes. Lower = fresher reads,
+  /// higher publish cost (one SaveState/RestoreState round per epoch).
+  size_t epoch_interval = 4096;
+  /// Recent epochs kept pinned by new views (older epochs survive only
+  /// while an in-flight reader still pins them). The ring gives
+  /// historical queries an exact-prefix fast path and bounds how much
+  /// restored-tracker state the service itself keeps alive.
+  size_t ring_size = 4;
+  /// StreamIngestor micro-batch size for the writer.
+  size_t ingest_batch = 1024;
+  /// Retain the ingested log (chunked) and every epoch's byte image so
+  /// Provenance(v, t) can delta-replay to arbitrary past times. With
+  /// retention off, standing memory stops growing with the stream and
+  /// historical queries resolve only from the ring (or the handoff
+  /// index); anything older returns FailedPrecondition.
+  bool retain_history = true;
+  /// Worker threads for the Submit() queue. 0 = inline execution; the
+  /// direct query methods never use the pool either way.
+  size_t num_query_threads = 0;
+};
+
+class ProvenanceService {
+ public:
+  /// A service for `spec` over a dataset of shape `stats`, starting
+  /// from empty state. The spec must be TrackerMode::kStreaming — the
+  /// service only ever sees a stream.
+  static StatusOr<std::unique_ptr<ProvenanceService>> Create(
+      const TrackerSpec& spec, const DatasetStats& stats,
+      ServeOptions options = {});
+
+  /// As Create(), but seeded from a finalized TimeTravelIndex: the live
+  /// tracker restores the index's final state (SaveFinalState) and
+  /// Provenance(v, t) routes times below the handoff watermark through
+  /// the index. The factory `spec` must build trackers configured
+  /// identically to the index's own, or the restore fails.
+  static StatusOr<std::unique_ptr<ProvenanceService>> CreateWithHistory(
+      const TrackerSpec& spec, const DatasetStats& stats,
+      std::shared_ptr<const TimeTravelIndex> history,
+      ServeOptions options = {});
+
+  /// Stops ingest (joins the writer) and the worker pool.
+  ~ProvenanceService();
+
+  ProvenanceService(const ProvenanceService&) = delete;
+  ProvenanceService& operator=(const ProvenanceService&) = delete;
+
+  // --- Writer side -------------------------------------------------------
+
+  /// Starts the writer thread ingesting `stream` (owned). One ingest per
+  /// service. In TINPROV_NO_THREADS builds the whole ingest runs
+  /// synchronously inside Start(), publishing epochs along the way.
+  Status Start(std::unique_ptr<InteractionStream> stream);
+
+  /// Blocks until the writer has drained its stream; returns the ingest
+  /// status. Idempotent. After an OK return, the final epoch (every
+  /// interaction applied) is published and ingest_stats() is valid.
+  Status WaitIngest();
+
+  /// True once the writer has finished (successfully or not) — readers
+  /// can poll this without blocking.
+  bool IngestDone() const {
+    return ingest_done_.load(std::memory_order_acquire);
+  }
+
+  /// Final ingest accounting. Valid only after WaitIngest().
+  const IngestStats& ingest_stats() const { return final_ingest_stats_; }
+
+  // --- Reader side (thread-safe, wait-free vs the writer) ----------------
+
+  /// Provenance of `v` at the newest published epoch.
+  QueryResult Provenance(VertexId v) const;
+
+  /// Provenance of `v` at historical time `t` — see the consistency
+  /// notes above for how t relates to the handoff index, the retained
+  /// log, and the epoch watermark.
+  QueryResult Provenance(VertexId v, Timestamp t) const;
+
+  /// The k origins contributing the most quantity to v's buffer at the
+  /// newest epoch, sorted by quantity descending (origin id ascending
+  /// on ties, so results are deterministic). buffer.total remains the
+  /// full buffered quantity.
+  QueryResult TopOrigins(VertexId v, size_t k) const;
+
+  /// Executes any request — the QueryWorkerPool executor.
+  QueryResult Execute(const QueryRequest& request) const;
+
+  /// Queues a request on the worker pool (inline when the pool has no
+  /// threads). Thread-safe.
+  std::future<QueryResult> Submit(QueryRequest request);
+
+  /// Identity of the newest published epoch.
+  EpochInfo LatestEpoch() const;
+
+  size_t num_query_threads() const { return pool_->num_threads(); }
+  size_t num_vertices() const { return stats_.num_vertices; }
+
+ private:
+  struct EpochView;  // service.cc: the immutable published state
+
+  ProvenanceService(TrackerFactory factory, const DatasetStats& stats,
+                    const ServeOptions& options,
+                    std::shared_ptr<const TimeTravelIndex> history);
+
+  /// Builds and publishes epoch 0 (initial or handoff state).
+  Status Init(const std::vector<uint8_t>* handoff_state);
+
+  /// Writer body: drains stream_, publishing epochs along the way.
+  Status RunIngest();
+
+  /// Writer (via LogSink): appends one pulled interaction to the
+  /// chunked log. No-op when history retention is off.
+  void AppendLog(const Interaction& interaction);
+
+  /// Writer: publishes the current live-tracker state as a new epoch.
+  Status PublishEpoch(size_t prefix, Timestamp watermark);
+
+  /// Reader: pins the newest view.
+  std::shared_ptr<const EpochView> PinView() const {
+    return std::atomic_load_explicit(&latest_, std::memory_order_acquire);
+  }
+
+  QueryResult ProvenanceAt(VertexId v, Timestamp t) const;
+
+  TrackerFactory factory_;
+  DatasetStats stats_;
+  ServeOptions options_;
+  std::shared_ptr<const TimeTravelIndex> history_;
+  Timestamp history_watermark_;  // meaningful iff history_ != nullptr
+
+  // Writer-owned after Start() (and during Init).
+  std::unique_ptr<Tracker> live_tracker_;
+  std::unique_ptr<InteractionStream> stream_;
+  class LogSink;  // service.cc: tee stream appending into the chunked log
+  std::vector<std::shared_ptr<std::vector<Interaction>>> chunks_;
+  size_t log_size_ = 0;
+  size_t snapshot_bytes_ = 0;  // running total of retained byte images
+  uint64_t next_seq_ = 0;
+  Stopwatch since_publish_;  // serve.epoch_age_ns at publish time
+
+  // Shared: the RCU-published view; writer stores, readers load.
+  std::shared_ptr<const EpochView> latest_;
+
+  std::atomic<bool> started_{false};
+  std::atomic<bool> ingest_done_{false};
+  bool ingest_joined_ = false;
+  Status ingest_status_;
+  IngestStats final_ingest_stats_;
+#if !defined(TINPROV_NO_THREADS)
+  std::thread writer_;
+#endif
+  std::unique_ptr<QueryWorkerPool> pool_;
+};
+
+}  // namespace tinprov
+
+#endif  // TINPROV_SERVE_SERVICE_H_

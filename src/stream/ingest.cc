@@ -5,15 +5,14 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
-#include "policies/proportional_base.h"
 #include "util/stopwatch.h"
 
 namespace tinprov {
 
 StreamIngestor::StreamIngestor(Tracker* tracker, IngestOptions options)
     : tracker_(tracker),
-      prop_(dynamic_cast<SparseProportionalBase*>(tracker)),
-      options_(options) {
+      options_(options),
+      pull_watermark_(options.initial_watermark) {
   if (options_.batch_size == 0) options_.batch_size = 1;
   batch_.reserve(options_.batch_size);
 }
@@ -77,11 +76,12 @@ Status StreamIngestor::IngestBatch(InteractionStream& stream, bool* done) {
   TINPROV_GAUGE_SET("memory.ingest_tracker_bytes", tracker_->MemoryUsage());
   TINPROV_GAUGE_MAX("memory.ingest_tracker_peak_bytes",
                     stats_.tracker_peak_memory);
-  if (prop_ != nullptr) {
-    TINPROV_GAUGE_SET("memory.pool_bytes", prop_->PoolBytesReserved());
-    TINPROV_GAUGE_SET("tracker.alpha_residue", prop_->AlphaResidue());
-    TINPROV_GAUGE_SET("tracker.entries", prop_->num_entries());
-  }
+  // Allocator-level footprint and representation-specific gauges come
+  // from the tracker itself (virtual hooks), so every policy reports —
+  // the old dynamic_cast probe covered only the pro-rata family.
+  TINPROV_GAUGE_SET("memory.ingest_tracker_reserved_bytes",
+                    tracker_->MemoryBytes());
+  tracker_->PublishMetrics();
   return Status::Ok();
 }
 

@@ -30,8 +30,6 @@
 
 namespace tinprov {
 
-class SparseProportionalBase;
-
 struct IngestOptions {
   /// Interactions pulled and applied per micro-batch. The batch buffer
   /// is the only stream-side allocation, so this bounds pipeline memory.
@@ -40,6 +38,12 @@ struct IngestOptions {
   bool enforce_time_order = true;
   /// Call Tracker::ReserveHint(stream.Stats()) before the first batch.
   bool reserve_from_stats = true;
+  /// Starting watermark for the order check: interactions below this
+  /// timestamp are rejected from the first pull. The serve layer sets it
+  /// when a tracker is seeded from a historical snapshot (state complete
+  /// up to the handoff watermark), so a stream rewound past the handoff
+  /// cannot double-apply history.
+  Timestamp initial_watermark = std::numeric_limits<Timestamp>::lowest();
 };
 
 struct IngestStats {
@@ -77,9 +81,6 @@ class StreamIngestor {
 
  private:
   Tracker* tracker_;
-  // Non-null when the tracker is pool-backed: per-batch metric sampling
-  // (pool bytes, alpha residue, standing entries) reads through this.
-  SparseProportionalBase* prop_ = nullptr;
   IngestOptions options_;
   IngestStats stats_;
   std::vector<Interaction> batch_;

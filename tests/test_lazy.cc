@@ -117,11 +117,11 @@ class LazyFullReplayTest : public ::testing::TestWithParam<std::string> {};
 TEST_P(LazyFullReplayTest, MatchesEagerBitExactly) {
   const Tin tin = GeneratedTin();
   const ScalableParams params = TestParams();
-  auto eager = CreateTrackerByName(GetParam(), tin, params);
+  auto eager = TrackerRegistry::Global().Create({GetParam(), params}, tin);
   ASSERT_TRUE(eager.ok()) << eager.status().ToString();
   ASSERT_TRUE((*eager)->ProcessAll(tin).ok());
 
-  auto factory = NamedTrackerFactory(GetParam(), tin, params);
+  auto factory = TrackerRegistry::Global().Factory({GetParam(), params}, tin);
   ASSERT_TRUE(factory.ok()) << factory.status().ToString();
   LazyReplayEngine lazy(tin, *factory);
   for (VertexId v = 0; v < tin.num_vertices(); v += 7) {
@@ -134,7 +134,8 @@ TEST_P(LazyFullReplayTest, MatchesEagerBitExactly) {
 }
 
 INSTANTIATE_TEST_SUITE_P(AllFactoryNames, LazyFullReplayTest,
-                         ::testing::ValuesIn(AllTrackerNames()), SanitizeName);
+                         ::testing::ValuesIn(TrackerRegistry::Global().Names()),
+                         SanitizeName);
 
 // ---------------------------------------------------------------------
 // (b) Sliced replay equals full replay on the query vertex, replaying
@@ -173,7 +174,7 @@ TEST(SlicedReplayScalableTest, VertexLocalScalableTrackersAreExact) {
   const ScalableParams params = TestParams();
   const char* names[] = {"Selective", "Grouped", "Budget"};
   for (const char* name : names) {
-    auto factory = NamedTrackerFactory(name, tin, params);
+    auto factory = TrackerRegistry::Global().Factory({name, params}, tin);
     ASSERT_TRUE(factory.ok());
     LazyReplayEngine lazy(tin, *factory);
     for (VertexId v = 0; v < tin.num_vertices(); v += 13) {
@@ -269,7 +270,8 @@ TEST(LazyEngineTest, RejectsOutOfRangeVertices) {
 
 TEST(LazyEngineTest, FactoryBuildsIndependentTrackers) {
   const Tin tin = HandTin();
-  auto factory = NamedTrackerFactory("FIFO", tin, ScalableParams{});
+  auto factory =
+      TrackerRegistry::Global().Factory({"FIFO", ScalableParams{}}, tin);
   ASSERT_TRUE(factory.ok());
   std::unique_ptr<Tracker> a = (*factory)();
   std::unique_ptr<Tracker> b = (*factory)();
@@ -290,7 +292,7 @@ class TimeTravelTest : public ::testing::TestWithParam<std::string> {};
 TEST_P(TimeTravelTest, MatchesFullPrefixReplayEverywhere) {
   const Tin tin = GeneratedTin();
   const ScalableParams params = TestParams();
-  auto factory = NamedTrackerFactory(GetParam(), tin, params);
+  auto factory = TrackerRegistry::Global().Factory({GetParam(), params}, tin);
   ASSERT_TRUE(factory.ok());
   const size_t interval = 97;  // prime: boundaries align with nothing
   auto index = TimeTravelIndex::Build(tin, *factory, interval);
@@ -320,7 +322,8 @@ TEST_P(TimeTravelTest, MatchesFullPrefixReplayEverywhere) {
 }
 
 INSTANTIATE_TEST_SUITE_P(AllFactoryNames, TimeTravelTest,
-                         ::testing::ValuesIn(AllTrackerNames()), SanitizeName);
+                         ::testing::ValuesIn(TrackerRegistry::Global().Names()),
+                         SanitizeName);
 
 TEST(TimeTravelEdgeTest, ZeroIntervalClampsToOne) {
   const Tin tin = HandTin();
@@ -362,7 +365,7 @@ class SnapshotRoundTripTest : public ::testing::TestWithParam<std::string> {};
 TEST_P(SnapshotRoundTripTest, SaveRestoreSaveIsByteIdentical) {
   const Tin tin = GeneratedTin();
   const ScalableParams params = TestParams();
-  auto factory = NamedTrackerFactory(GetParam(), tin, params);
+  auto factory = TrackerRegistry::Global().Factory({GetParam(), params}, tin);
   ASSERT_TRUE(factory.ok());
   const size_t half = tin.num_interactions() / 2;
 
@@ -395,7 +398,7 @@ TEST_P(SnapshotRoundTripTest, SaveRestoreSaveIsByteIdentical) {
 TEST_P(SnapshotRoundTripTest, RejectsCorruptSnapshots) {
   const Tin tin = HandTin();
   const ScalableParams params = TestParams();
-  auto factory = NamedTrackerFactory(GetParam(), tin, params);
+  auto factory = TrackerRegistry::Global().Factory({GetParam(), params}, tin);
   ASSERT_TRUE(factory.ok());
   std::unique_ptr<Tracker> tracker = EagerPrefix(*factory, tin, 4);
   std::vector<uint8_t> saved;
@@ -415,7 +418,8 @@ TEST_P(SnapshotRoundTripTest, RejectsCorruptSnapshots) {
 }
 
 INSTANTIATE_TEST_SUITE_P(AllFactoryNames, SnapshotRoundTripTest,
-                         ::testing::ValuesIn(AllTrackerNames()), SanitizeName);
+                         ::testing::ValuesIn(TrackerRegistry::Global().Names()),
+                         SanitizeName);
 
 TEST(SnapshotMismatchTest, RejectsWrongVertexCount) {
   const Tin tin = HandTin();

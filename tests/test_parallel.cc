@@ -83,11 +83,11 @@ void ExpectBitIdentical(const Tin& tin, const std::string& name,
                         const ParallelParams& parallel,
                         const std::string& context) {
   const ScalableParams params = TestParams();
-  auto eager = CreateTrackerByName(name, tin, params);
+  auto eager = TrackerRegistry::Global().Create({name, params}, tin);
   ASSERT_TRUE(eager.ok()) << context;
   ASSERT_TRUE((*eager)->ProcessAll(tin).ok()) << context;
 
-  auto spec = NamedShardedSpec(name, tin, params);
+  auto spec = TrackerRegistry::Global().Sharded({name, params}, tin);
   ASSERT_TRUE(spec.ok()) << context;
   ShardedReplayEngine engine(tin, *std::move(spec), parallel);
   auto result = engine.Replay();
@@ -153,7 +153,8 @@ TEST_P(ShardedReplayTest, EmptyDatasetYieldsEmptyState) {
   const Tin tin(5, {});
   ParallelParams parallel;
   parallel.num_threads = 4;
-  auto spec = NamedShardedSpec(GetParam(), tin, TestParams());
+  auto spec =
+      TrackerRegistry::Global().Sharded({GetParam(), TestParams()}, tin);
   ASSERT_TRUE(spec.ok());
   ShardedReplayEngine engine(tin, *std::move(spec), parallel);
   auto result = engine.Replay();
@@ -171,7 +172,7 @@ TEST_P(ShardedReplayTest, PrefixReplayMatchesSequentialPrefix) {
   const ScalableParams params = TestParams();
   const size_t prefix = tin.num_interactions() / 2;
 
-  auto factory = NamedTrackerFactory(GetParam(), tin, params);
+  auto factory = TrackerRegistry::Global().Factory({GetParam(), params}, tin);
   ASSERT_TRUE(factory.ok());
   std::unique_ptr<Tracker> eager = (*factory)();
   const auto& log = tin.interactions();
@@ -181,7 +182,7 @@ TEST_P(ShardedReplayTest, PrefixReplayMatchesSequentialPrefix) {
 
   ParallelParams parallel;
   parallel.num_threads = 3;
-  auto spec = NamedShardedSpec(GetParam(), tin, params);
+  auto spec = TrackerRegistry::Global().Sharded({GetParam(), params}, tin);
   ASSERT_TRUE(spec.ok());
   ShardedReplayEngine engine(tin, *std::move(spec), parallel);
   auto result = engine.ReplayPrefix(prefix);
@@ -200,7 +201,8 @@ TEST_P(ShardedReplayTest, RepeatedRunsAreDeterministic) {
   ParallelParams parallel;
   parallel.num_threads = 4;
   parallel.num_shards = 7;
-  auto spec = NamedShardedSpec(GetParam(), tin, TestParams());
+  auto spec =
+      TrackerRegistry::Global().Sharded({GetParam(), TestParams()}, tin);
   ASSERT_TRUE(spec.ok());
   ShardedReplayEngine engine(tin, *std::move(spec), parallel);
   auto first = engine.Replay();
@@ -216,7 +218,7 @@ TEST_P(ShardedReplayTest, RepeatedRunsAreDeterministic) {
 }
 
 INSTANTIATE_TEST_SUITE_P(AllTrackerNames, ShardedReplayTest,
-                         ::testing::ValuesIn(AllTrackerNames()),
+                         ::testing::ValuesIn(TrackerRegistry::Global().Names()),
                          SanitizeName);
 
 // ---------------------------------------------------------------------
@@ -228,7 +230,7 @@ TEST(ShardedReplayEngineTest, DecomposableNamesTakeTheParallelPath) {
   parallel.num_threads = 4;
   for (const char* name : {"Prop-sparse", "Selective", "Grouped",
                            "Windowed"}) {
-    auto spec = NamedShardedSpec(name, tin, TestParams());
+    auto spec = TrackerRegistry::Global().Sharded({name, TestParams()}, tin);
     ASSERT_TRUE(spec.ok());
     EXPECT_TRUE(spec->decomposable) << name;
     ShardedReplayEngine engine(tin, *std::move(spec), parallel);
@@ -246,7 +248,7 @@ TEST(ShardedReplayEngineTest, NonDecomposableNamesFallBackSequentially) {
   parallel.num_threads = 4;
   for (const char* name :
        {"NoProv", "LIFO", "FIFO", "LRB", "MRB", "Prop-dense", "Budget"}) {
-    auto spec = NamedShardedSpec(name, tin, TestParams());
+    auto spec = TrackerRegistry::Global().Sharded({name, TestParams()}, tin);
     ASSERT_TRUE(spec.ok());
     EXPECT_FALSE(spec->decomposable) << name;
     ShardedReplayEngine engine(tin, *std::move(spec), parallel);
@@ -264,7 +266,8 @@ TEST(ShardedReplayEngineTest, ShardCountClampsToLabelSpace) {
   ParallelParams parallel;
   parallel.num_threads = 4;
   parallel.num_shards = 16;
-  auto spec = NamedShardedSpec("Grouped", tin, TestParams());
+  auto spec =
+      TrackerRegistry::Global().Sharded({"Grouped", TestParams()}, tin);
   ASSERT_TRUE(spec.ok());
   EXPECT_EQ(spec->label_count, 7u);
   ShardedReplayEngine engine(tin, *std::move(spec), parallel);
@@ -305,11 +308,11 @@ TEST(ParallelWiringTest, LazyEngineParallelMatchesSequential) {
   const Tin tin = GeneratedTin();
   const ScalableParams params = TestParams();
   for (const char* name : {"Prop-sparse", "Grouped", "LIFO"}) {
-    auto factory = NamedTrackerFactory(name, tin, params);
+    auto factory = TrackerRegistry::Global().Factory({name, params}, tin);
     ASSERT_TRUE(factory.ok());
     LazyReplayEngine sequential(tin, *factory);
     LazyReplayEngine parallel_engine(tin, *factory);
-    auto spec = NamedShardedSpec(name, tin, params);
+    auto spec = TrackerRegistry::Global().Sharded({name, params}, tin);
     ASSERT_TRUE(spec.ok());
     ParallelParams parallel;
     parallel.num_threads = 4;
@@ -333,25 +336,27 @@ TEST(ParallelWiringTest, LazyEngineParallelMatchesSequential) {
   }
 }
 
-TEST(ParallelWiringTest, MeasureNamedTrackerParallelOverloadRuns) {
+TEST(ParallelWiringTest, MeasureTrackerParallelOptionRuns) {
   const Tin tin = GeneratedTin();
   const ScalableParams params = TestParams();
-  ParallelParams parallel;
-  parallel.num_threads = 2;
+  MeasureOptions options;
+  options.tin = &tin;
+  options.parallel = true;
+  options.parallel_params.num_threads = 2;
 
-  auto sharded = MeasureNamedTracker("Prop-sparse", tin, params, 0, parallel);
+  auto sharded = MeasureTracker({"Prop-sparse", params}, options);
   ASSERT_TRUE(sharded.ok());
   EXPECT_TRUE(sharded->feasible);
   EXPECT_TRUE(sharded->parallel);
   EXPECT_GT(sharded->peak_memory, 0u);
 
   // Non-decomposable names silently measure on the classic path.
-  auto fallback = MeasureNamedTracker("LIFO", tin, params, 0, parallel);
+  auto fallback = MeasureTracker({"LIFO", params}, options);
   ASSERT_TRUE(fallback.ok());
   EXPECT_FALSE(fallback->parallel);
 
   // The final logical memory must agree with the sequential tracker's.
-  auto eager = CreateTrackerByName("Prop-sparse", tin, params);
+  auto eager = TrackerRegistry::Global().Create({"Prop-sparse", params}, tin);
   ASSERT_TRUE(eager.ok());
   ASSERT_TRUE((*eager)->ProcessAll(tin).ok());
   EXPECT_EQ(sharded->peak_memory, (*eager)->MemoryUsage());

@@ -83,13 +83,15 @@ std::map<VertexId, double> BreakdownAt(const Tracker& tracker, VertexId v) {
 TEST(TrackerFactoryTest, RejectsUnknownNamesWithStatus) {
   const Tin tin = HandTin();
   const ScalableParams params;
-  auto bad = CreateTrackerByName("not-a-policy", tin, params);
+  auto bad = TrackerRegistry::Global().Create({"not-a-policy", params}, tin);
   ASSERT_FALSE(bad.ok());
   EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
   // The error names the accepted spellings so callers can self-correct.
   EXPECT_NE(bad.status().message().find("Windowed"), std::string::npos);
 
-  auto measured = MeasureNamedTracker("not-a-policy", tin, params, 0);
+  MeasureOptions options;
+  options.tin = &tin;
+  auto measured = MeasureTracker({"not-a-policy", params}, options);
   ASSERT_FALSE(measured.ok());
   EXPECT_EQ(measured.status().code(), StatusCode::kInvalidArgument);
 
@@ -100,11 +102,12 @@ TEST(TrackerFactoryTest, RejectsUnknownNamesWithStatus) {
 TEST(TrackerFactoryTest, AcceptsEveryAdvertisedNameCaseInsensitively) {
   const Tin tin = HandTin();
   const ScalableParams params;
-  for (const std::string& name : AllTrackerNames()) {
-    auto tracker = CreateTrackerByName(name, tin, params);
+  const TrackerRegistry& registry = TrackerRegistry::Global();
+  for (const std::string& name : registry.Names()) {
+    auto tracker = registry.Create({name, params}, tin);
     ASSERT_TRUE(tracker.ok()) << name;
     EXPECT_NE(tracker->get(), nullptr) << name;
-    auto lower = CreateTrackerByName(AsciiLower(name), tin, params);
+    auto lower = registry.Create({AsciiLower(name), params}, tin);
     EXPECT_TRUE(lower.ok()) << name;
   }
 }
@@ -113,11 +116,16 @@ TEST(TrackerFactoryTest, DenseFeasibilityGateAppliesByName) {
   const Tin tin = HandTin();
   const ScalableParams params;
   // A 1-byte limit makes any |V|^2 dense footprint infeasible.
-  auto gated = MeasureNamedTracker("Prop-dense", tin, params, 1);
+  MeasureOptions gated_options;
+  gated_options.tin = &tin;
+  gated_options.dense_memory_limit = 1;
+  auto gated = MeasureTracker({"Prop-dense", params}, gated_options);
   ASSERT_TRUE(gated.ok());
   EXPECT_FALSE(gated->feasible);
   // A zero limit disables the gate and the run proceeds.
-  auto ungated = MeasureNamedTracker("Prop-dense", tin, params, 0);
+  MeasureOptions ungated_options;
+  ungated_options.tin = &tin;
+  auto ungated = MeasureTracker({"Prop-dense", params}, ungated_options);
   ASSERT_TRUE(ungated.ok());
   EXPECT_TRUE(ungated->feasible);
 }
@@ -142,7 +150,7 @@ TEST_P(FactoryConservationTest, ConservesFlow) {
   params.num_groups = 7;
   params.budget.capacity = 8;
   params.budget.keep_fraction = 0.5;
-  auto tracker = CreateTrackerByName(GetParam(), tin, params);
+  auto tracker = TrackerRegistry::Global().Create({GetParam(), params}, tin);
   ASSERT_TRUE(tracker.ok()) << tracker.status().ToString();
   ASSERT_TRUE((*tracker)->ProcessAll(tin).ok());
   double buffered = 0.0;
@@ -166,7 +174,7 @@ TEST_P(FactoryConservationTest, ConservesFlow) {
 
 INSTANTIATE_TEST_SUITE_P(
     AllFactoryNames, FactoryConservationTest,
-    ::testing::ValuesIn(AllTrackerNames()),
+    ::testing::ValuesIn(TrackerRegistry::Global().Names()),
     [](const ::testing::TestParamInfo<std::string>& info) {
       std::string name = info.param;
       name.erase(std::remove_if(name.begin(), name.end(),

@@ -124,7 +124,7 @@ class StreamingVsMaterializedTest
 TEST_P(StreamingVsMaterializedTest, BitIdenticalToProcessAll) {
   const Tin tin = GeneratedTin();
   const ScalableParams params = TestParams();
-  auto factory = NamedTrackerFactory(GetParam(), tin, params);
+  auto factory = TrackerRegistry::Global().Factory({GetParam(), params}, tin);
   ASSERT_TRUE(factory.ok()) << factory.status().ToString();
 
   std::unique_ptr<Tracker> eager = (*factory)();
@@ -153,7 +153,7 @@ TEST_P(StreamingVsMaterializedTest, BitIdenticalToProcessAll) {
 }
 
 INSTANTIATE_TEST_SUITE_P(AllNames, StreamingVsMaterializedTest,
-                         ::testing::ValuesIn(AllTrackerNames()),
+                         ::testing::ValuesIn(TrackerRegistry::Global().Names()),
                          SanitizeName);
 
 // ---------------------------------------------------------------------
@@ -370,7 +370,7 @@ class StreamingTimeTravelTest : public ::testing::TestWithParam<std::string> {
 TEST_P(StreamingTimeTravelTest, MatchesMaterializedBuild) {
   const Tin tin = GeneratedTin();
   const ScalableParams params = TestParams();
-  auto factory = NamedTrackerFactory(GetParam(), tin, params);
+  auto factory = TrackerRegistry::Global().Factory({GetParam(), params}, tin);
   ASSERT_TRUE(factory.ok());
   const size_t interval = 700;  // not a divisor of the stream length
 
@@ -412,7 +412,9 @@ INSTANTIATE_TEST_SUITE_P(Names, StreamingTimeTravelTest,
 TEST(StreamingTimeTravelTest, LifecycleGuards) {
   const Tin tin = GeneratedTin();
   auto index = TimeTravelIndex::NewStreaming(
-      tin.num_vertices(), PolicyTrackerFactory(tin, PolicyKind::kFifo), 100);
+      tin.num_vertices(),
+      [n = tin.num_vertices()] { return CreateTracker(PolicyKind::kFifo, n); },
+      100);
   ASSERT_TRUE(index.ok());
 
   // Querying before Finalize is a precondition failure.
@@ -435,7 +437,9 @@ TEST(StreamingTimeTravelTest, BuildsFromGeneratorStream) {
   const GeneratorConfig config = PresetConfig(DatasetKind::kTaxis, 0.05);
   auto tin = Generate(config);
   ASSERT_TRUE(tin.ok());
-  const TrackerFactory factory = PolicyTrackerFactory(*tin, PolicyKind::kLifo);
+  const TrackerFactory factory = [n = tin->num_vertices()] {
+    return CreateTracker(PolicyKind::kLifo, n);
+  };
 
   auto built = TimeTravelIndex::Build(*tin, factory, 150);
   ASSERT_TRUE(built.ok());
@@ -488,7 +492,8 @@ TEST_P(ShardedStreamTest, StreamingMatchesMaterializedSharded) {
   const ScalableParams params = TestParams();
   // One spec for both engines: the streaming form must reproduce the
   // materialized engine bit-for-bit when fed the identical sequence.
-  auto spec = StreamShardedSpec(GetParam(), tin.Stats(), params);
+  auto spec = TrackerRegistry::Global().Sharded(
+      {GetParam(), params, TrackerMode::kStreaming}, tin.Stats());
   ASSERT_TRUE(spec.ok()) << spec.status().ToString();
 
   ParallelParams parallel;
@@ -520,7 +525,8 @@ TEST(ShardedStreamTest, HonorsLogFreeStrategies) {
   // loads have to match the materialized engine's exactly.
   const Tin tin = GeneratedTin();
   const ScalableParams params = TestParams();
-  auto spec = StreamShardedSpec("Prop-sparse", tin.Stats(), params);
+  auto spec = TrackerRegistry::Global().Sharded(
+      {"Prop-sparse", params, TrackerMode::kStreaming}, tin.Stats());
   ASSERT_TRUE(spec.ok());
   for (const ShardStrategy strategy :
        {ShardStrategy::kHash, ShardStrategy::kContiguous}) {
@@ -552,7 +558,8 @@ TEST(ShardedStreamTest, HonorsLogFreeStrategies) {
 TEST(ShardedStreamTest, SequentialFallbackMatchesEager) {
   const Tin tin = GeneratedTin();
   const ScalableParams params = TestParams();
-  auto spec = StreamShardedSpec("FIFO", tin.Stats(), params);
+  auto spec = TrackerRegistry::Global().Sharded(
+      {"FIFO", params, TrackerMode::kStreaming}, tin.Stats());
   ASSERT_TRUE(spec.ok());
   ASSERT_FALSE(spec->decomposable);
 
@@ -573,7 +580,8 @@ TEST(ShardedStreamTest, SequentialFallbackMatchesEager) {
 TEST(ShardedStreamTest, SingleWorkerInlinePathMatches) {
   const Tin tin = GeneratedTin();
   const ScalableParams params = TestParams();
-  auto spec = StreamShardedSpec("Prop-sparse", tin.Stats(), params);
+  auto spec = TrackerRegistry::Global().Sharded(
+      {"Prop-sparse", params, TrackerMode::kStreaming}, tin.Stats());
   ASSERT_TRUE(spec.ok());
 
   ParallelParams parallel;
@@ -594,7 +602,8 @@ TEST(ShardedStreamTest, SingleWorkerInlinePathMatches) {
 
 TEST(ShardedStreamTest, StreamingEngineRejectsMaterializedEntryPoints) {
   const Tin tin = GeneratedTin();
-  auto spec = StreamShardedSpec("Prop-sparse", tin.Stats(), TestParams());
+  auto spec = TrackerRegistry::Global().Sharded(
+      {"Prop-sparse", TestParams(), TrackerMode::kStreaming}, tin.Stats());
   ASSERT_TRUE(spec.ok());
   ShardedReplayEngine engine(tin.Stats(), *spec, ParallelParams{});
   EXPECT_EQ(engine.Replay().status().code(),
@@ -608,8 +617,9 @@ TEST(ShardedStreamTest, StreamingEngineRejectsMaterializedEntryPoints) {
 TEST(ShardedStreamTest, RejectsOutOfOrderStream) {
   std::vector<Interaction> disordered = SortedToy(50);
   std::swap(disordered[10], disordered[30]);
-  auto spec = StreamShardedSpec("Prop-sparse", DatasetStats{5, 50},
-                                TestParams());
+  auto spec = TrackerRegistry::Global().Sharded(
+      {"Prop-sparse", TestParams(), TrackerMode::kStreaming},
+      DatasetStats{5, 50});
   ASSERT_TRUE(spec.ok());
   for (const size_t threads : {size_t{1}, size_t{3}}) {
     ParallelParams parallel;
@@ -627,22 +637,26 @@ TEST(ShardedStreamTest, RejectsOutOfOrderStream) {
 // ---------------------------------------------------------------------
 // (g) Streaming analytics entry points.
 
-TEST(StreamAnalyticsTest, StreamTrackerFactoryRejectsUnknownNames) {
-  auto factory =
-      StreamTrackerFactory("No-such", DatasetStats{10, 100}, TestParams());
+TEST(StreamAnalyticsTest, StreamFactoryRejectsUnknownNames) {
+  auto factory = TrackerRegistry::Global().Factory(
+      {"No-such", TestParams(), TrackerMode::kStreaming},
+      DatasetStats{10, 100});
   ASSERT_FALSE(factory.ok());
   EXPECT_EQ(factory.status().code(), StatusCode::kInvalidArgument);
   EXPECT_NE(factory.status().message().find("Prop-sparse"),
             std::string::npos);
 }
 
-TEST(StreamAnalyticsTest, MeasureNamedTrackerStreamingOverload) {
+TEST(StreamAnalyticsTest, MeasureTrackerStreamingPath) {
   const GeneratorConfig config = PresetConfig(DatasetKind::kFlights, 0.05);
   auto stream = GeneratorStream::Create(config);
   ASSERT_TRUE(stream.ok());
   IngestStats stats;
-  auto measurement = MeasureNamedTracker("Prop-sparse", *stream, TestParams(),
-                                         /*dense_memory_limit=*/0, &stats);
+  MeasureOptions options;
+  options.stream = &*stream;
+  options.ingest_stats = &stats;
+  auto measurement = MeasureTracker(
+      {"Prop-sparse", TestParams(), TrackerMode::kStreaming}, options);
   ASSERT_TRUE(measurement.ok()) << measurement.status().ToString();
   EXPECT_TRUE(measurement->feasible);
   EXPECT_EQ(stats.interactions, config.num_interactions);
@@ -653,8 +667,11 @@ TEST(StreamAnalyticsTest, DenseFeasibilityGateAppliesToStreams) {
   const GeneratorConfig config = PresetConfig(DatasetKind::kBitcoin, 0.05);
   auto stream = GeneratorStream::Create(config);
   ASSERT_TRUE(stream.ok());
-  auto measurement = MeasureNamedTracker("Prop-dense", *stream, TestParams(),
-                                         /*dense_memory_limit=*/1024);
+  MeasureOptions options;
+  options.stream = &*stream;
+  options.dense_memory_limit = 1024;
+  auto measurement = MeasureTracker(
+      {"Prop-dense", TestParams(), TrackerMode::kStreaming}, options);
   ASSERT_TRUE(measurement.ok());
   EXPECT_FALSE(measurement->feasible);
 }
