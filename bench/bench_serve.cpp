@@ -15,6 +15,7 @@
 // snapshot isolation is an exactness claim, not a best-effort one.
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <utility>
@@ -23,12 +24,14 @@
 #include "analytics/registry.h"
 #include "analytics/report.h"
 #include "bench_util.h"
+#include "obs/recorder.h"
 #include "serve/service.h"
 #include "stream/interaction_stream.h"
 #include "util/stopwatch.h"
 #include "util/strings.h"
 
 #if !defined(TINPROV_NO_THREADS)
+#include <chrono>
 #include <thread>
 #endif
 
@@ -49,6 +52,7 @@ struct ReaderLog {
 
 constexpr size_t kSampleEvery = 64;
 
+#if !defined(TINPROV_NO_THREADS)
 // One reader: query rotating vertices until the ingest drains, logging
 // per-query latency and capturing every kSampleEvery-th answer.
 void ReaderLoop(const ProvenanceService& service, VertexId start,
@@ -70,6 +74,7 @@ void ReaderLoop(const ProvenanceService& service, VertexId start,
     v = (v + 13) % static_cast<VertexId>(num_vertices);
   }
 }
+#endif  // !TINPROV_NO_THREADS
 
 int64_t Percentile(std::vector<int64_t>* sorted_ns, double p) {
   if (sorted_ns->empty()) return 0;
@@ -126,10 +131,120 @@ void VerifySamples(const TrackerSpec& spec, const Tin& tin,
   }
 }
 
+void WriteFileOrDie(const char* path, const std::string& contents) {
+  FILE* file = std::fopen(path, "w");
+  if (file == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    std::exit(1);
+  }
+  std::fwrite(contents.data(), 1, contents.size(), file);
+  std::fclose(file);
+}
+
+// Ops-plane smoke mode, driven by scripts/smoke.sh: with
+// TINPROV_OPS_PORT set, stand up one service with its ops server
+// enabled, publish the bound port to TINPROV_OPS_PORT_FILE, and keep
+// executing queries until the driver drops "<port file>.done" (or
+// TINPROV_OPS_HOLD_S elapses) so it can curl the live endpoints. The
+// recorder's time series lands in TINPROV_RECORDER_OUT on the way out.
+// Builds without threads cannot host the server; they publish "skip" so
+// the driver knows not to wait.
+int RunOpsMode(const TrackerSpec& spec, const GeneratorConfig& config,
+               ServeOptions options) {
+  const char* port_env = std::getenv("TINPROV_OPS_PORT");
+  const char* port_file = std::getenv("TINPROV_OPS_PORT_FILE");
+#if defined(TINPROV_NO_THREADS)
+  (void)spec;
+  (void)config;
+  (void)options;
+  (void)port_env;
+  if (port_file != nullptr) WriteFileOrDie(port_file, "skip\n");
+  std::printf("ops smoke: skipped (built without threads)\n");
+  return 0;
+#else
+  options.ops_recorder_interval_ms = 50;  // dense samples for a short hold
+  options.slow_query_ns = 1;              // every query hits /tracez?slow=1
+  double hold_s = 10.0;
+  if (const char* hold = std::getenv("TINPROV_OPS_HOLD_S")) {
+    hold_s = std::atof(hold);
+  }
+
+  auto stream = GeneratorStream::Create(config);
+  if (!stream.ok()) {
+    std::fprintf(stderr, "generator stream failed: %s\n",
+                 stream.status().ToString().c_str());
+    return 1;
+  }
+  auto service = ProvenanceService::Create(spec, stream->Stats(), options);
+  if (!service.ok()) {
+    std::fprintf(stderr, "service creation failed: %s\n",
+                 service.status().ToString().c_str());
+    return 1;
+  }
+  Status status = (*service)->Start(
+      std::make_unique<GeneratorStream>(*std::move(stream)));
+  if (!status.ok()) {
+    std::fprintf(stderr, "start failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  auto port = (*service)->EnableOpsServer(
+      static_cast<uint16_t>(std::atoi(port_env)));
+  if (!port.ok()) {
+    std::fprintf(stderr, "ops server failed: %s\n",
+                 port.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("ops smoke: serving on 127.0.0.1:%u\n", *port);
+  if (port_file != nullptr) {
+    WriteFileOrDie(port_file, std::to_string(*port) + "\n");
+  }
+
+  // Keep the query-side counters and the slow-query ring moving while
+  // the driver probes the endpoints.
+  const std::string done_path =
+      port_file != nullptr ? std::string(port_file) + ".done" : std::string();
+  Stopwatch hold;
+  VertexId v = 0;
+  while (hold.ElapsedSeconds() < hold_s) {
+    QueryRequest request;
+    request.kind = QueryKind::kProvenance;
+    request.v = v;
+    (void)(*service)->Execute(request);
+    v = (v + 13) % static_cast<VertexId>(config.num_vertices);
+    if (!done_path.empty()) {
+      if (FILE* done = std::fopen(done_path.c_str(), "r")) {
+        std::fclose(done);
+        break;
+      }
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+
+  status = (*service)->WaitIngest();
+  if (!status.ok()) {
+    std::fprintf(stderr, "ingest failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  if (const char* recorder_out = std::getenv("TINPROV_RECORDER_OUT")) {
+    WriteFileOrDie(recorder_out,
+                   (*service)->ops_recorder()->TimeSeriesJson());
+  }
+  (*service)->DisableOpsServer();
+  std::printf("ops smoke: done after %.1fs\n", hold.ElapsedSeconds());
+  return 0;
+#endif
+}
+
 }  // namespace
 
 int main() {
   const double scale = bench::GetScale();
+  if (std::getenv("TINPROV_OPS_PORT") != nullptr) {
+    return RunOpsMode({"Prop-sparse", ScalableParams{},
+                       TrackerMode::kStreaming},
+                      PresetConfig(DatasetKind::kBitcoin, scale),
+                      ServeOptions{});
+  }
   bench::PrintHeader("Serving under ingest",
                      "Snapshot-isolated queries vs a live writer "
                      "(Prop-sparse, epoch ring)");

@@ -142,87 +142,4 @@ StatusOr<Measurement> MeasureTracker(const TrackerSpec& spec,
   return MeasureRun(tracker->get(), tin, spec.name);
 }
 
-// ---------------------------------------------------------------------------
-// Deprecated wrappers. Definitions forward to the registry directly (a
-// wrapper calling another deprecated wrapper would trip -Werror builds).
-// ---------------------------------------------------------------------------
-
-StatusOr<std::unique_ptr<Tracker>> CreateTrackerByName(
-    std::string_view name, const Tin& tin, const ScalableParams& params) {
-  return TrackerRegistry::Global().Create(
-      TrackerSpec{std::string(name), params, TrackerMode::kMaterialized}, tin);
-}
-
-StatusOr<TrackerFactory> NamedTrackerFactory(std::string_view name,
-                                             const Tin& tin,
-                                             const ScalableParams& params) {
-  return TrackerRegistry::Global().Factory(
-      TrackerSpec{std::string(name), params, TrackerMode::kMaterialized}, tin);
-}
-
-StatusOr<TrackerFactory> StreamTrackerFactory(std::string_view name,
-                                              const DatasetStats& stats,
-                                              const ScalableParams& params) {
-  return TrackerRegistry::Global().Factory(
-      TrackerSpec{std::string(name), params, TrackerMode::kStreaming}, stats);
-}
-
-std::vector<std::string> AllTrackerNames() {
-  return TrackerRegistry::Global().Names();
-}
-
-StatusOr<ShardedSpec> NamedShardedSpec(std::string_view name, const Tin& tin,
-                                       const ScalableParams& params) {
-  return TrackerRegistry::Global().Sharded(
-      TrackerSpec{std::string(name), params, TrackerMode::kMaterialized}, tin);
-}
-
-StatusOr<ShardedSpec> StreamShardedSpec(std::string_view name,
-                                        const DatasetStats& stats,
-                                        const ScalableParams& params) {
-  return TrackerRegistry::Global().Sharded(
-      TrackerSpec{std::string(name), params, TrackerMode::kStreaming}, stats);
-}
-
-StatusOr<Measurement> MeasureNamedTracker(std::string_view name,
-                                          const Tin& tin,
-                                          const ScalableParams& params,
-                                          size_t dense_memory_limit) {
-  MeasureOptions options;
-  options.tin = &tin;
-  options.dense_memory_limit = dense_memory_limit;
-  return MeasureTracker(
-      TrackerSpec{std::string(name), params, TrackerMode::kMaterialized},
-      options);
-}
-
-StatusOr<Measurement> MeasureNamedTracker(std::string_view name,
-                                          const Tin& tin,
-                                          const ScalableParams& params,
-                                          size_t dense_memory_limit,
-                                          const ParallelParams& parallel) {
-  MeasureOptions options;
-  options.tin = &tin;
-  options.dense_memory_limit = dense_memory_limit;
-  options.parallel = true;
-  options.parallel_params = parallel;
-  return MeasureTracker(
-      TrackerSpec{std::string(name), params, TrackerMode::kMaterialized},
-      options);
-}
-
-StatusOr<Measurement> MeasureNamedTracker(std::string_view name,
-                                          InteractionStream& stream,
-                                          const ScalableParams& params,
-                                          size_t dense_memory_limit,
-                                          IngestStats* ingest_stats) {
-  MeasureOptions options;
-  options.stream = &stream;
-  options.dense_memory_limit = dense_memory_limit;
-  options.ingest_stats = ingest_stats;
-  return MeasureTracker(
-      TrackerSpec{std::string(name), params, TrackerMode::kStreaming},
-      options);
-}
-
 }  // namespace tinprov

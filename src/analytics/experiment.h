@@ -5,8 +5,7 @@
 //
 // Tracker construction lives in analytics/registry.h (TrackerRegistry);
 // the one measurement entry point is MeasureTracker(TrackerSpec,
-// MeasureOptions). The name-taking functions at the bottom of this
-// header are deprecated wrappers kept for one release.
+// MeasureOptions).
 #ifndef TINPROV_ANALYTICS_EXPERIMENT_H_
 #define TINPROV_ANALYTICS_EXPERIMENT_H_
 
@@ -89,71 +88,6 @@ struct MeasureOptions {
 /// dataset's shape alone is part of the streaming contract).
 StatusOr<Measurement> MeasureTracker(const TrackerSpec& spec,
                                      const MeasureOptions& options);
-
-// ---------------------------------------------------------------------------
-// Deprecated wrappers (one release): the name-based construction and
-// measurement surface that TrackerRegistry + MeasureTracker replace.
-// Each forwards verbatim; see registry.h for the migration table.
-// ---------------------------------------------------------------------------
-
-/// Deprecated: use TrackerRegistry::Global().Create({name, params}, tin).
-[[deprecated("use TrackerRegistry::Global().Create()")]]
-StatusOr<std::unique_ptr<Tracker>> CreateTrackerByName(
-    std::string_view name, const Tin& tin, const ScalableParams& params);
-
-/// Deprecated: use TrackerRegistry::Global().Factory({name, params}, tin).
-[[deprecated("use TrackerRegistry::Global().Factory()")]]
-StatusOr<TrackerFactory> NamedTrackerFactory(std::string_view name,
-                                             const Tin& tin,
-                                             const ScalableParams& params);
-
-/// Deprecated: use TrackerRegistry::Global().Factory() with a
-/// TrackerMode::kStreaming spec.
-[[deprecated("use TrackerRegistry::Global().Factory() in streaming mode")]]
-StatusOr<TrackerFactory> StreamTrackerFactory(std::string_view name,
-                                              const DatasetStats& stats,
-                                              const ScalableParams& params);
-
-/// Deprecated: use TrackerRegistry::Global().Names().
-[[deprecated("use TrackerRegistry::Global().Names()")]]
-std::vector<std::string> AllTrackerNames();
-
-/// Deprecated: use TrackerRegistry::Global().Sharded({name, params}, tin).
-[[deprecated("use TrackerRegistry::Global().Sharded()")]]
-StatusOr<ShardedSpec> NamedShardedSpec(std::string_view name, const Tin& tin,
-                                       const ScalableParams& params);
-
-/// Deprecated: use TrackerRegistry::Global().Sharded() with a
-/// TrackerMode::kStreaming spec.
-[[deprecated("use TrackerRegistry::Global().Sharded() in streaming mode")]]
-StatusOr<ShardedSpec> StreamShardedSpec(std::string_view name,
-                                        const DatasetStats& stats,
-                                        const ScalableParams& params);
-
-/// Deprecated: use MeasureTracker with MeasureOptions{.tin,
-/// .dense_memory_limit}.
-[[deprecated("use MeasureTracker(TrackerSpec, MeasureOptions)")]]
-StatusOr<Measurement> MeasureNamedTracker(std::string_view name,
-                                          const Tin& tin,
-                                          const ScalableParams& params,
-                                          size_t dense_memory_limit);
-
-/// Deprecated: use MeasureTracker with MeasureOptions{.parallel = true}.
-[[deprecated("use MeasureTracker(TrackerSpec, MeasureOptions)")]]
-StatusOr<Measurement> MeasureNamedTracker(std::string_view name,
-                                          const Tin& tin,
-                                          const ScalableParams& params,
-                                          size_t dense_memory_limit,
-                                          const ParallelParams& parallel);
-
-/// Deprecated: use MeasureTracker with MeasureOptions{.stream} and a
-/// TrackerMode::kStreaming spec.
-[[deprecated("use MeasureTracker(TrackerSpec, MeasureOptions)")]]
-StatusOr<Measurement> MeasureNamedTracker(std::string_view name,
-                                          InteractionStream& stream,
-                                          const ScalableParams& params,
-                                          size_t dense_memory_limit,
-                                          IngestStats* ingest_stats = nullptr);
 
 }  // namespace tinprov
 

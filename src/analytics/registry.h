@@ -2,14 +2,11 @@
 // tracker — the seven PolicyName() policies plus the scalable/ layer —
 // behind one registry keyed by a TrackerSpec.
 //
-// This replaces the five entry points that accreted over PRs 1-5
-// (CreateTrackerByName, NamedTrackerFactory, StreamTrackerFactory,
-// PolicyTrackerFactory, and the spec builders' name plumbing): callers
-// now describe the tracker once (name + ScalableParams + mode) and ask
-// the registry for whichever artifact the consuming engine needs — a
-// one-shot Tracker, a reusable TrackerFactory, or a ShardedSpec for the
-// parallel engine. The deprecated wrappers in analytics/experiment.h
-// forward here and will be removed next release.
+// This replaces the five name-taking entry points that accreted over
+// PRs 1-5 (now removed): callers describe the tracker once (name +
+// ScalableParams + mode) and ask the registry for whichever artifact
+// the consuming engine needs — a one-shot Tracker, a reusable
+// TrackerFactory, or a ShardedSpec for the parallel engine.
 #ifndef TINPROV_ANALYTICS_REGISTRY_H_
 #define TINPROV_ANALYTICS_REGISTRY_H_
 

@@ -87,11 +87,6 @@ std::vector<uint32_t> BackwardInfluenceCone(const Tin& tin, VertexId v,
   return cone;
 }
 
-TrackerFactory PolicyTrackerFactory(const Tin& tin, PolicyKind kind) {
-  const size_t n = tin.num_vertices();
-  return [kind, n] { return CreateTracker(kind, n); };
-}
-
 LazyReplayEngine::LazyReplayEngine(const Tin& tin, PolicyKind kind)
     : tin_(&tin),
       factory_([kind, n = tin.num_vertices()] {

@@ -44,12 +44,6 @@ struct ReplayStats {
 /// prefix shared by the lazy engine and the time-travel index.
 size_t PrefixLength(const Tin& tin, Timestamp t);
 
-/// Deprecated: use TrackerRegistry::Global().Factory() (or capture
-/// CreateTracker in a lambda below the analytics layer). Kept one
-/// release as a wrapper over CreateTracker(kind, tin.num_vertices()).
-[[deprecated("use TrackerRegistry::Global().Factory()")]]
-TrackerFactory PolicyTrackerFactory(const Tin& tin, PolicyKind kind);
-
 /// Indices (into tin.interactions(), ascending and therefore in time
 /// order) of the interactions in `v`'s backward temporal influence
 /// cone. A vertex u joins the cone with a time bound T when some cone
@@ -69,7 +63,7 @@ class LazyReplayEngine {
   LazyReplayEngine(const Tin& tin, PolicyKind kind);
 
   /// Replays through whatever `factory` builds — any policy or scalable
-  /// tracker (see analytics NamedTrackerFactory). Note that sliced
+  /// tracker (see TrackerRegistry::Factory()). Note that sliced
   /// replay assumes a tracker's behaviour at a vertex depends only on
   /// the histories of cone vertices; WindowedTracker's global reset
   /// counter violates that, so only full/prefix replay is exact for it.
@@ -99,7 +93,7 @@ class LazyReplayEngine {
   /// replaces this engine's tracker factory, so sliced queries — which
   /// stay per-query sequential (the influence cone is not
   /// label-aligned) — answer from the same configuration as the
-  /// sharded paths. Typically paired with analytics::NamedShardedSpec.
+  /// sharded paths. Typically paired with TrackerRegistry::Sharded().
   void EnableParallel(ShardedSpec spec, ParallelParams params);
 
  private:

@@ -1,0 +1,151 @@
+#include "obs/health.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <exception>
+
+#include "obs/metrics.h"
+
+namespace tinprov::obs {
+
+namespace {
+
+std::string JsonEscape(std::string_view in) {
+  std::string out;
+  out.reserve(in.size());
+  for (const char c : in) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonDouble(double v) {
+  if (!std::isfinite(v)) return "0";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+HealthRegistry& HealthRegistry::Global() {
+  static HealthRegistry* const registry = new HealthRegistry();
+  return *registry;
+}
+
+void HealthRegistry::Register(std::string name, HealthCheck check) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = std::lower_bound(
+      checks_.begin(), checks_.end(), name,
+      [](const auto& entry, const std::string& n) { return entry.first < n; });
+  if (it != checks_.end() && it->first == name) {
+    it->second = std::move(check);
+    return;
+  }
+  checks_.insert(it, {std::move(name), std::move(check)});
+}
+
+void HealthRegistry::Unregister(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = std::lower_bound(
+      checks_.begin(), checks_.end(), name,
+      [](const auto& entry, std::string_view n) { return entry.first < n; });
+  if (it != checks_.end() && it->first == name) checks_.erase(it);
+}
+
+HealthRegistry::Report HealthRegistry::RunAll() const {
+  // Snapshot the callbacks, run them unlocked: a check may itself take
+  // engine locks, and holding mu_ across arbitrary callbacks invites
+  // lock-order trouble.
+  std::vector<std::pair<std::string, HealthCheck>> checks;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    checks = checks_;
+  }
+  Report report;
+  report.checks.reserve(checks.size());
+  for (const auto& [name, check] : checks) {
+    CheckStatus status;
+    status.name = name;
+    try {
+      status.result = check();
+    } catch (const std::exception& e) {
+      status.result.healthy = false;
+      status.result.message = std::string("check threw: ") + e.what();
+    } catch (...) {
+      status.result.healthy = false;
+      status.result.message = "check threw";
+    }
+    report.healthy = report.healthy && status.result.healthy;
+    MetricsRegistry::Global()
+        .GetGauge("health." + name)
+        ->Set(status.result.healthy ? 1.0 : 0.0);
+    report.checks.push_back(std::move(status));
+  }
+  return report;
+}
+
+std::string HealthRegistry::Json(bool* healthy) const {
+  const Report report = RunAll();
+  if (healthy != nullptr) *healthy = report.healthy;
+  std::string out = "{\"healthy\":";
+  out += report.healthy ? "true" : "false";
+  out += ",\"checks\":{";
+  bool first = true;
+  for (const CheckStatus& status : report.checks) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + JsonEscape(status.name) + "\":{\"healthy\":";
+    out += status.result.healthy ? "true" : "false";
+    out += ",\"value\":" + JsonDouble(status.result.value);
+    out += ",\"message\":\"" + JsonEscape(status.result.message) + "\"}";
+  }
+  out += "}}";
+  return out;
+}
+
+size_t HealthRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return checks_.size();
+}
+
+void HealthRegistry::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  checks_.clear();
+}
+
+HealthCheck GaugeAtMostCheck(std::string gauge_name, double limit) {
+  return [gauge_name = std::move(gauge_name), limit]() {
+    const double value =
+        MetricsRegistry::Global().GetGauge(gauge_name)->Value();
+    HealthResult result;
+    result.healthy = value <= limit;
+    result.value = value;
+    // Human text, not JSON: an infinite limit reads "inf", not "0".
+    char text[128];
+    std::snprintf(text, sizeof(text), " = %g (limit %g)", value, limit);
+    result.message = gauge_name + text;
+    return result;
+  };
+}
+
+}  // namespace tinprov::obs

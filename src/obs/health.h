@@ -1,0 +1,92 @@
+// HealthRegistry: named liveness/health checks behind one registry,
+// the decision layer of the ops plane (obs/http.h serves it at
+// /healthz; the serve and stream layers register their checks when
+// ProvenanceService::EnableOpsServer wires them up).
+//
+// A check is a callback returning HealthResult — a verdict, the
+// observed value, and a human-readable detail line. RunAll() executes
+// every registered check, aggregates (healthy iff every check is), and
+// mirrors each verdict into a `health.<name>` gauge (1 healthy, 0 not)
+// so scrapes of /metrics carry the same signal the /healthz page shows.
+//
+// Checks must be safe to call from any thread (the ops server's accept
+// thread runs them); the usual shape is a closure over the metrics
+// registry's gauges or over an engine object that outlives the
+// registration. Unregister before the subject dies.
+#ifndef TINPROV_OBS_HEALTH_H_
+#define TINPROV_OBS_HEALTH_H_
+
+#include <functional>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace tinprov::obs {
+
+struct HealthResult {
+  bool healthy = true;
+  /// The quantity the verdict was derived from (lag, depth, age, ...).
+  double value = 0.0;
+  /// One line of detail, e.g. "epoch age 0.12s (limit 10s)".
+  std::string message;
+};
+
+using HealthCheck = std::function<HealthResult()>;
+
+class HealthRegistry {
+ public:
+  /// The process-wide registry (deliberately leaked, like the metrics
+  /// registry). Engine layers register here by default.
+  static HealthRegistry& Global();
+
+  HealthRegistry() = default;
+  HealthRegistry(const HealthRegistry&) = delete;
+  HealthRegistry& operator=(const HealthRegistry&) = delete;
+
+  /// Registers (or replaces) the check called `name`.
+  void Register(std::string name, HealthCheck check);
+
+  /// Removes `name`; unknown names are a no-op.
+  void Unregister(std::string_view name);
+
+  struct CheckStatus {
+    std::string name;
+    HealthResult result;
+  };
+
+  struct Report {
+    bool healthy = true;  // conjunction over every check; true when empty
+    std::vector<CheckStatus> checks;  // sorted by name
+  };
+
+  /// Runs every check and publishes a `health.<name>` gauge per verdict.
+  /// A check that throws is reported unhealthy rather than propagating.
+  Report RunAll() const;
+
+  /// RunAll() as one strict-JSON object:
+  /// {"healthy":true,"checks":{"name":{"healthy":true,"value":..,
+  ///  "message":".."}, ...}}
+  /// When `healthy` is non-null it receives the aggregate verdict of
+  /// the same run (so callers don't re-run the checks to learn it).
+  std::string Json(bool* healthy = nullptr) const;
+
+  size_t size() const;
+
+  /// Test support: drops every registered check.
+  void Clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::pair<std::string, HealthCheck>> checks_;  // sorted
+};
+
+/// A threshold check over a metrics-registry gauge: healthy while
+/// gauge(name) <= limit. The gauge is interned on first run, so the
+/// check is valid even before the instrumented code path has fired.
+HealthCheck GaugeAtMostCheck(std::string gauge_name, double limit);
+
+}  // namespace tinprov::obs
+
+#endif  // TINPROV_OBS_HEALTH_H_

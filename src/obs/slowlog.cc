@@ -1,0 +1,155 @@
+#include "obs/slowlog.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace tinprov::obs {
+
+namespace {
+
+std::string JsonEscape(std::string_view in) {
+  std::string out;
+  out.reserve(in.size());
+  for (const char c : in) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void AppendU64(std::string* out, uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+  *out += buf;
+}
+
+void AppendI64(std::string* out, int64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  *out += buf;
+}
+
+}  // namespace
+
+SlowQueryLog& SlowQueryLog::Global() {
+  static SlowQueryLog* const log = new SlowQueryLog();
+  return *log;
+}
+
+SlowQueryLog::SlowQueryLog(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {
+  ring_.reserve(std::min<size_t>(capacity_, 64));
+}
+
+void SlowQueryLog::Record(const SlowQueryRecord& record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++recorded_;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(record);
+    return;
+  }
+  ring_[next_] = record;
+  next_ = (next_ + 1) % capacity_;
+  ++dropped_;
+}
+
+std::vector<SlowQueryRecord> SlowQueryLog::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SlowQueryRecord> out;
+  out.reserve(ring_.size());
+  // Once the ring wrapped, next_ points at the oldest slot.
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(next_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::string SlowQueryLog::Json() const {
+  std::vector<SlowQueryRecord> records = Snapshot();
+  uint64_t recorded;
+  uint64_t dropped;
+  size_t capacity;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    recorded = recorded_;
+    dropped = dropped_;
+    capacity = capacity_;
+  }
+  std::string out = "{\"capacity\":";
+  AppendU64(&out, capacity);
+  out += ",\"recorded\":";
+  AppendU64(&out, recorded);
+  out += ",\"dropped\":";
+  AppendU64(&out, dropped);
+  out += ",\"queries\":[";
+  bool first = true;
+  for (const SlowQueryRecord& r : records) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"id\":";
+    AppendU64(&out, r.query_id);
+    out += ",\"kind\":\"" + JsonEscape(r.kind) + "\",\"vertex\":";
+    AppendU64(&out, r.vertex);
+    out += ",\"latency_ns\":";
+    AppendI64(&out, r.latency_ns);
+    out += ",\"replayed\":";
+    AppendU64(&out, r.replayed_interactions);
+    out += ",\"epoch_seq\":";
+    AppendU64(&out, r.epoch_seq);
+    out += ",\"epoch_prefix\":";
+    AppendU64(&out, r.epoch_prefix);
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+void SlowQueryLog::SetCapacity(size_t capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = capacity == 0 ? 1 : capacity;
+  ring_.clear();
+  ring_.shrink_to_fit();
+  next_ = 0;
+}
+
+size_t SlowQueryLog::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_.size();
+}
+
+uint64_t SlowQueryLog::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+uint64_t SlowQueryLog::recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return recorded_;
+}
+
+void SlowQueryLog::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  next_ = 0;
+  recorded_ = 0;
+  dropped_ = 0;
+}
+
+}  // namespace tinprov::obs

@@ -65,10 +65,12 @@ void TraceSink::Record(const char* name, const char* category,
   const Event event{name, category, start_ns, duration_ns, CurrentTid()};
   if (ring_.size() < capacity_) {
     ring_.push_back(event);
+    next_ = ring_.size() % capacity_;
   } else {
-    ring_[next_ % capacity_] = event;
+    ring_[next_] = event;
+    next_ = (next_ + 1) % capacity_;
+    ++dropped_;  // explicit, so drains don't skew the accounting
   }
-  next_ = (next_ + 1) % (capacity_ == 0 ? 1 : capacity_);
   ++recorded_;
 }
 
@@ -79,11 +81,15 @@ size_t TraceSink::num_events() const {
 
 size_t TraceSink::dropped_events() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return recorded_ - ring_.size();
+  return dropped_;
 }
 
-std::string TraceSink::ToJson() const {
+size_t TraceSink::recorded_events() const {
   std::lock_guard<std::mutex> lock(mu_);
+  return recorded_;
+}
+
+std::string TraceSink::ToJsonLocked() const {
   std::string out;
   out.reserve(ring_.size() * 96 + 64);
   out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
@@ -104,6 +110,21 @@ std::string TraceSink::ToJson() const {
     out += line;
   }
   out += "]}\n";
+  return out;
+}
+
+std::string TraceSink::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ToJsonLocked();
+}
+
+std::string TraceSink::DrainJson() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = ToJsonLocked();
+  // Consume the exported events; recorded_/dropped_ stay cumulative so
+  // the loss accounting survives any number of drains.
+  ring_.clear();
+  next_ = 0;
   return out;
 }
 
@@ -135,6 +156,7 @@ void TraceSink::SetCapacityForTesting(size_t capacity) {
   ring_.clear();
   next_ = 0;
   recorded_ = 0;
+  dropped_ = 0;
 }
 
 void TraceSink::Clear() {
@@ -142,6 +164,7 @@ void TraceSink::Clear() {
   ring_.clear();
   next_ = 0;
   recorded_ = 0;
+  dropped_ = 0;
 }
 
 }  // namespace tinprov::obs

@@ -14,9 +14,15 @@
 //
 // The sink is a fixed-capacity ring: when full, the oldest events are
 // overwritten and dropped_events() counts the loss — a long run keeps
-// its most recent window instead of growing without bound. Span name
-// and category must be string literals (or otherwise outlive the
-// process); the sink stores the pointers, never copies.
+// its most recent window instead of growing without bound. Export is
+// safe at any point in the process's life, not just at exit: ToJson()
+// is a read-only snapshot (idempotent — call it as often as you like),
+// and DrainJson() atomically exports-and-empties the ring so a live
+// endpoint (/tracez on the ops server) can hand out each event exactly
+// once while spans keep being emitted concurrently. Dropped/recorded
+// totals are cumulative across drains. Span name and category must be
+// string literals (or otherwise outlive the process); the sink stores
+// the pointers, never copies.
 #ifndef TINPROV_OBS_TRACE_H_
 #define TINPROV_OBS_TRACE_H_
 
@@ -47,14 +53,25 @@ class TraceSink {
 
   /// The trace in chrome://tracing "trace_event" JSON format
   /// (traceEvents array of complete "X" events, ts/dur in microseconds).
+  /// Read-only and idempotent: the ring is left untouched, so repeated
+  /// calls (and a later at-exit export) see the same events.
   std::string ToJson() const;
+
+  /// Atomically exports the current ring as ToJson() and empties it, so
+  /// each event is handed out exactly once even while spans are being
+  /// recorded concurrently. recorded/dropped totals are preserved
+  /// (cumulative), only the buffered events are consumed.
+  std::string DrainJson();
 
   /// Writes ToJson() to `path`.
   Status WriteJson(const std::string& path) const;
 
   size_t num_events() const;
-  /// Events overwritten because the ring was full.
+  /// Events overwritten because the ring was full (cumulative: draining
+  /// the ring does not reset this, unlike Clear()).
   size_t dropped_events() const;
+  /// Events ever recorded (cumulative across drains).
+  size_t recorded_events() const;
 
   /// Test hooks: toggle recording, bound the ring, drop all events.
   void SetEnabledForTesting(bool enabled);
@@ -72,6 +89,9 @@ class TraceSink {
 
   TraceSink();
 
+  /// Serializes the ring oldest-first; requires mu_ held.
+  std::string ToJsonLocked() const;
+
   static constexpr size_t kDefaultCapacity = size_t{1} << 16;
 
   mutable std::mutex mu_;
@@ -79,6 +99,7 @@ class TraceSink {
   size_t capacity_ = kDefaultCapacity;
   size_t next_ = 0;       // ring slot the next event lands in
   size_t recorded_ = 0;   // total events ever recorded
+  size_t dropped_ = 0;    // events overwritten while the ring was full
   std::atomic<bool> enabled_{false};
   std::string path_;      // $TINPROV_TRACE target, empty when unset
   int64_t epoch_ns_ = 0;  // steady-clock origin for timestamps

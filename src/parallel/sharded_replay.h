@@ -96,7 +96,7 @@ using ShardTrackerFactory =
     std::function<std::unique_ptr<SparseProportionalBase>()>;
 
 /// What the engine needs to know about a tracker configuration. Build
-/// one by hand, or by name via analytics::NamedShardedSpec.
+/// one by hand, or by name via TrackerRegistry::Sharded().
 struct ShardedSpec {
   /// True when the tracker is label-linear (see file comment); false
   /// routes every replay through the sequential fallback.

@@ -43,8 +43,8 @@ std::string_view PolicyName(PolicyKind kind);
 /// Parses a PolicyName() display name back to its kind,
 /// case-insensitively. Unknown names yield InvalidArgument — factory
 /// callers get a proper Status, never a crash. Scalable tracker names
-/// ("Windowed", "Budget", ...) are not policies; CreateTrackerByName in
-/// analytics/experiment.h resolves those.
+/// ("Windowed", "Budget", ...) are not policies; TrackerRegistry in
+/// analytics/registry.h resolves those.
 StatusOr<PolicyKind> PolicyKindFromName(std::string_view name);
 
 class Tracker {

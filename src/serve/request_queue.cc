@@ -63,6 +63,7 @@ std::future<QueryResult> QueryWorkerPool::Submit(QueryRequest request) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     queue_.push_back(std::move(item));
+    TINPROV_GAUGE_SET("serve.queue_depth", queue_.size());
     TINPROV_GAUGE_MAX("serve.queue_peak_depth", queue_.size());
   }
   cv_.notify_one();
@@ -80,6 +81,7 @@ void QueryWorkerPool::WorkerLoop() {
       if (queue_.empty()) return;  // stopping_ && drained
       item = std::move(queue_.front());
       queue_.pop_front();
+      TINPROV_GAUGE_SET("serve.queue_depth", queue_.size());
     }
     TINPROV_HISTOGRAM_OBSERVE("serve.queue_wait_ns",
                               item.enqueued.ElapsedNanos());

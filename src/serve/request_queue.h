@@ -67,6 +67,13 @@ struct QueryResult {
   /// still the epoch the query was *resolved against* (its log/snapshot
   /// view); the buffer itself reflects time `t`.
   EpochInfo epoch;
+  /// Process-unique id ProvenanceService::Execute stamped on the query
+  /// (correlates with the slow-query log); 0 for answers that bypassed
+  /// Execute (the direct reader methods).
+  uint64_t query_id = 0;
+  /// Log interactions delta-replayed to build the answer; 0 on the
+  /// epoch fast paths (latest epoch, ring hit, handoff index).
+  size_t replayed_interactions = 0;
 };
 
 /// Resolves one request; must be safe to call from any thread.

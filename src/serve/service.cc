@@ -1,10 +1,17 @@
 #include "serve/service.h"
 
 #include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
 #include <string>
 #include <utility>
 
+#include "obs/health.h"
+#include "obs/http.h"
 #include "obs/metrics.h"
+#include "obs/recorder.h"
+#include "obs/slowlog.h"
 #include "obs/trace.h"
 
 namespace tinprov {
@@ -19,6 +26,31 @@ constexpr size_t kChunkCapacity = 4096;
 bool TopOriginOrder(const ProvPair& a, const ProvPair& b) {
   if (a.quantity != b.quantity) return a.quantity > b.quantity;
   return a.origin < b.origin;
+}
+
+int64_t SteadyNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+const char* QueryKindName(QueryKind kind) {
+  switch (kind) {
+    case QueryKind::kProvenance:
+      return "provenance";
+    case QueryKind::kProvenanceAt:
+      return "provenance_at";
+    case QueryKind::kTopOrigins:
+      return "top_origins";
+  }
+  return "unknown";
+}
+
+std::string JsonDouble(double v) {
+  if (!std::isfinite(v)) return "0";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
 }
 
 }  // namespace
@@ -150,6 +182,9 @@ ProvenanceService::ProvenanceService(
 }
 
 ProvenanceService::~ProvenanceService() {
+  // The ops plane reads `this` from its accept thread; take it down
+  // before the state it snapshots goes away.
+  DisableOpsServer();
   // Workers execute through `this`; stop them before anything else.
   pool_.reset();
 #if !defined(TINPROV_NO_THREADS)
@@ -202,6 +237,7 @@ Status ProvenanceService::Init(const std::vector<uint8_t>* handoff_state) {
     snapshot_bytes_ += state->size();
   }
   latest_ = std::move(view);
+  last_publish_ns_.store(SteadyNowNs(), std::memory_order_relaxed);
   return Status::Ok();
 }
 
@@ -264,6 +300,7 @@ Status ProvenanceService::PublishEpoch(size_t prefix, Timestamp watermark) {
   TINPROV_HISTOGRAM_OBSERVE("serve.epoch_age_ns",
                             since_publish_.ElapsedNanos());
   since_publish_.Restart();
+  last_publish_ns_.store(SteadyNowNs(), std::memory_order_relaxed);
   TINPROV_GAUGE_SET("serve.epoch_seq", next_seq_ - 1);
   TINPROV_GAUGE_SET("serve.epoch_prefix", prefix);
   TINPROV_GAUGE_SET("memory.serve_log_bytes", log_size_ * sizeof(Interaction));
@@ -472,11 +509,12 @@ QueryResult ProvenanceService::ProvenanceAt(VertexId v, Timestamp t) const {
   }
   TINPROV_HISTOGRAM_OBSERVE("serve.delta_interactions",
                             target - snapshot.prefix);
+  result.replayed_interactions = target - snapshot.prefix;
   result.buffer = tracker->Provenance(v);
   return result;
 }
 
-QueryResult ProvenanceService::Execute(const QueryRequest& request) const {
+QueryResult ProvenanceService::Dispatch(const QueryRequest& request) const {
   switch (request.kind) {
     case QueryKind::kProvenance:
       return Provenance(request.v);
@@ -490,8 +528,172 @@ QueryResult ProvenanceService::Execute(const QueryRequest& request) const {
   return result;
 }
 
+QueryResult ProvenanceService::Execute(const QueryRequest& request) const {
+  obs::SlowQueryLog& log = obs::SlowQueryLog::Global();
+  const uint64_t id = log.NextQueryId();
+  const Stopwatch watch;
+  QueryResult result = Dispatch(request);
+  result.query_id = id;
+  const int64_t latency_ns = watch.ElapsedNanos();
+  if (options_.slow_query_ns > 0 && latency_ns >= options_.slow_query_ns) {
+    obs::SlowQueryRecord record;
+    record.query_id = id;
+    record.kind = QueryKindName(request.kind);
+    record.vertex = request.v;
+    record.latency_ns = latency_ns;
+    record.replayed_interactions = result.replayed_interactions;
+    record.epoch_seq = result.epoch.seq;
+    record.epoch_prefix = result.epoch.prefix;
+    log.Record(record);
+    TINPROV_COUNTER_ADD("serve.slow_queries", 1);
+  }
+  return result;
+}
+
 std::future<QueryResult> ProvenanceService::Submit(QueryRequest request) {
   return pool_->Submit(request);
+}
+
+double ProvenanceService::EpochAgeSeconds() const {
+  const int64_t last = last_publish_ns_.load(std::memory_order_relaxed);
+  if (last == 0) return 0.0;  // Init hasn't published epoch 0 yet
+  return static_cast<double>(SteadyNowNs() - last) / 1e9;
+}
+
+std::string ProvenanceService::StatuszJson() const {
+  // The epoch block is read the way a query reads it — one pinned view —
+  // so the page is consistent with what any concurrent reader sees.
+  const std::shared_ptr<const EpochView> view = PinView();
+  const EpochInfo epoch = view->Latest().info;
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  obs::SlowQueryLog& slow = obs::SlowQueryLog::Global();
+
+  std::string out = "{\"service\":{\"uptime_s\":";
+  out += JsonDouble(uptime_.ElapsedSeconds());
+  out += ",\"num_vertices\":" + std::to_string(stats_.num_vertices);
+  out += ",\"query_threads\":" + std::to_string(pool_->num_threads());
+  out += "},\"epoch\":{\"seq\":" + std::to_string(epoch.seq);
+  out += ",\"prefix\":" + std::to_string(epoch.prefix);
+  out += ",\"watermark\":" + JsonDouble(epoch.watermark);
+  out += ",\"age_s\":" + JsonDouble(EpochAgeSeconds());
+  out += "},\"ingest\":{\"done\":";
+  out += IngestDone() ? "true" : "false";
+  out += ",\"watermark\":" +
+         JsonDouble(registry.GetGauge("ingest.watermark")->Value());
+  out += ",\"watermark_lag\":" +
+         JsonDouble(registry.GetGauge("ingest.watermark_lag")->Value());
+  out += ",\"interactions\":" +
+         std::to_string(registry.GetCounter("ingest.interactions")->Value());
+  out += ",\"interactions_per_s\":" +
+         JsonDouble(ops_recorder_ != nullptr
+                        ? ops_recorder_->Rate("ingest.interactions")
+                        : 0.0);
+  out += "},\"queries\":{\"executed\":" +
+         std::to_string(registry.GetCounter("serve.queries")->Value());
+  out += ",\"submitted\":" +
+         std::to_string(registry.GetCounter("serve.queries_submitted")->Value());
+  out += ",\"per_s\":" + JsonDouble(ops_recorder_ != nullptr
+                                        ? ops_recorder_->Rate("serve.queries")
+                                        : 0.0);
+  out += ",\"slow_recorded\":" + std::to_string(slow.recorded());
+  out += "},\"memory\":{\"total_bytes\":" + JsonDouble(registry.MemoryBytes());
+  for (const auto& [name, value] : registry.GaugeValues()) {
+    if (name.rfind("memory.", 0) != 0) continue;
+    out += ",\"" + name + "\":" + JsonDouble(value);
+  }
+  out += "},\"recorder\":{\"samples\":" +
+         std::to_string(ops_recorder_ != nullptr ? ops_recorder_->num_samples()
+                                                 : 0);
+  out += ",\"window_s\":" +
+         JsonDouble(ops_recorder_ != nullptr ? ops_recorder_->WindowSeconds()
+                                             : 0.0);
+  out += "}}";
+  return out;
+}
+
+StatusOr<uint16_t> ProvenanceService::EnableOpsServer(uint16_t port) {
+#if defined(TINPROV_NO_THREADS)
+  (void)port;
+  return Status::FailedPrecondition(
+      "ops server needs threads (built with TINPROV_PARALLEL=OFF)");
+#else
+  if (ops_server_ != nullptr) {
+    return Status::FailedPrecondition("ops server already enabled");
+  }
+
+  obs::RecorderOptions recorder_options;
+  recorder_options.interval_ms = options_.ops_recorder_interval_ms;
+  recorder_options.capacity = options_.ops_recorder_capacity;
+  auto recorder = std::make_unique<obs::Recorder>(recorder_options);
+  Status status = recorder->Start();
+  if (!status.ok()) return status;
+
+  // The health catalogue, thresholds from ServeOptions. Checks run on
+  // the ops server's accept thread; everything they touch is either a
+  // registry gauge or an atomic on `this` (torn down in
+  // DisableOpsServer before `this` dies).
+  obs::HealthRegistry& health = obs::HealthRegistry::Global();
+  health.Register("serve.epoch_age", [this] {
+    obs::HealthResult result;
+    result.value = EpochAgeSeconds();
+    result.healthy =
+        IngestDone() || result.value <= options_.health_max_epoch_age_s;
+    result.message =
+        "epoch age " + std::to_string(result.value) + "s (limit " +
+        std::to_string(options_.health_max_epoch_age_s) +
+        (IngestDone() ? "s, ingest done)" : "s while ingesting)");
+    return result;
+  });
+  health.Register("serve.queue_depth",
+                  obs::GaugeAtMostCheck("serve.queue_depth",
+                                        options_.health_max_queue_depth));
+  RegisterIngestHealthChecks(health, options_.health_max_watermark_lag);
+  health.Register("trace.drops", [] {
+    obs::HealthResult result;
+    result.value = static_cast<double>(obs::TraceSink::Global().dropped_events());
+    result.healthy = result.value == 0.0;
+    result.message = "trace ring dropped " +
+                     std::to_string(static_cast<size_t>(result.value)) +
+                     " events";
+    return result;
+  });
+  health.Register("tracker.alpha_residue",
+                  obs::GaugeAtMostCheck("tracker.alpha_residue",
+                                        options_.health_max_alpha_residue));
+  health_checks_ = {"serve.epoch_age", "serve.queue_depth",
+                    "ingest.watermark_lag", "trace.drops",
+                    "tracker.alpha_residue"};
+
+  auto server = std::make_unique<obs::OpsServer>();
+  server->SetHandler("/statusz", [this](std::string_view) {
+    obs::HttpResponse response;
+    response.content_type = "application/json";
+    response.body = StatuszJson();
+    return response;
+  });
+  status = server->Start(port);
+  if (!status.ok()) {
+    recorder->Stop();
+    for (const std::string& name : health_checks_) health.Unregister(name);
+    health_checks_.clear();
+    return status;
+  }
+  ops_recorder_ = std::move(recorder);
+  ops_server_ = std::move(server);
+  return ops_server_->port();
+#endif
+}
+
+void ProvenanceService::DisableOpsServer() {
+  // Accept thread first: its handlers read `this` and the recorder.
+  if (ops_server_ != nullptr) ops_server_->Stop();
+  if (ops_recorder_ != nullptr) ops_recorder_->Stop();
+  for (const std::string& name : health_checks_) {
+    obs::HealthRegistry::Global().Unregister(name);
+  }
+  health_checks_.clear();
+  ops_server_.reset();
+  ops_recorder_.reset();
 }
 
 }  // namespace tinprov

@@ -50,7 +50,9 @@
 #include <cstddef>
 #include <cstdint>
 #include <future>
+#include <limits>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "analytics/registry.h"
@@ -69,6 +71,11 @@
 #endif
 
 namespace tinprov {
+
+namespace obs {
+class OpsServer;
+class Recorder;
+}  // namespace obs
 
 struct ServeOptions {
   /// Interactions between epoch publishes. Lower = fresher reads,
@@ -90,6 +97,26 @@ struct ServeOptions {
   /// Worker threads for the Submit() queue. 0 = inline execution; the
   /// direct query methods never use the pool either way.
   size_t num_query_threads = 0;
+
+  // --- Ops plane (EnableOpsServer / the slow-query log) ------------------
+
+  /// Execute()/Submit() queries slower than this land in the
+  /// process-wide SlowQueryLog (/tracez?slow=1 on the ops server).
+  /// 0 disables recording; ids are stamped either way.
+  int64_t slow_query_ns = 1'000'000;  // 1 ms
+
+  /// /healthz thresholds, wired when EnableOpsServer runs. Age applies
+  /// only while ingest is live (a drained service is never stale);
+  /// infinite limits report their value but never trip.
+  double health_max_epoch_age_s = 60.0;
+  double health_max_queue_depth = 65536.0;
+  double health_max_watermark_lag = std::numeric_limits<double>::infinity();
+  double health_max_alpha_residue = std::numeric_limits<double>::infinity();
+
+  /// EnableOpsServer's metrics recorder: sampling period and ring bound
+  /// (the ring always holds the most recent capacity*interval window).
+  int64_t ops_recorder_interval_ms = 250;
+  size_t ops_recorder_capacity = 512;
 };
 
 class ProvenanceService {
@@ -167,6 +194,35 @@ class ProvenanceService {
   size_t num_query_threads() const { return pool_->num_threads(); }
   size_t num_vertices() const { return stats_.num_vertices; }
 
+  // --- Ops plane ---------------------------------------------------------
+
+  /// Starts the embedded ops endpoint on 127.0.0.1:`port` (0 picks an
+  /// ephemeral port; the bound port is returned). Wires the whole
+  /// plane: the service-aware /statusz page, a metrics Recorder
+  /// sampling at ops_recorder_interval_ms, and the health checks
+  /// (serve.epoch_age, serve.queue_depth, ingest.watermark_lag,
+  /// trace.drops, tracker.alpha_residue) against the ServeOptions
+  /// thresholds. One ops server per service; FailedPrecondition when
+  /// already enabled or built without threads.
+  StatusOr<uint16_t> EnableOpsServer(uint16_t port);
+
+  /// Stops the endpoint and recorder and unregisters the service's
+  /// health checks. Idempotent; the destructor calls it.
+  void DisableOpsServer();
+
+  /// The recorder EnableOpsServer started (time-series export), or
+  /// null while the ops plane is down.
+  const obs::Recorder* ops_recorder() const { return ops_recorder_.get(); }
+
+  /// The /statusz document: uptime, the newest epoch exactly as a
+  /// pinned reader sees it, ingest progress and windowed rates, query
+  /// accounting, and every memory.* gauge. Valid with or without the
+  /// ops server running (the handler calls this).
+  std::string StatuszJson() const;
+
+  /// Seconds since the newest epoch was published (any thread).
+  double EpochAgeSeconds() const;
+
  private:
   struct EpochView;  // service.cc: the immutable published state
 
@@ -193,6 +249,9 @@ class ProvenanceService {
   }
 
   QueryResult ProvenanceAt(VertexId v, Timestamp t) const;
+
+  /// The kind switch Execute() wraps with id/latency/slow-log bookkeeping.
+  QueryResult Dispatch(const QueryRequest& request) const;
 
   TrackerFactory factory_;
   DatasetStats stats_;
@@ -222,6 +281,15 @@ class ProvenanceService {
   std::thread writer_;
 #endif
   std::unique_ptr<QueryWorkerPool> pool_;
+
+  // Ops plane (EnableOpsServer). last_publish_ns_ mirrors
+  // since_publish_ in a form any thread may read (the health check and
+  // /statusz run on the ops server's accept thread).
+  Stopwatch uptime_;  // never restarted; reads are race-free
+  std::atomic<int64_t> last_publish_ns_{0};
+  std::unique_ptr<obs::OpsServer> ops_server_;
+  std::unique_ptr<obs::Recorder> ops_recorder_;
+  std::vector<std::string> health_checks_;  // names registered, for teardown
 };
 
 }  // namespace tinprov

@@ -94,4 +94,11 @@ Status StreamIngestor::IngestAll(InteractionStream& stream) {
   return Status::Ok();
 }
 
+void RegisterIngestHealthChecks(obs::HealthRegistry& registry,
+                                double max_watermark_lag) {
+  registry.Register(
+      "ingest.watermark_lag",
+      obs::GaugeAtMostCheck("ingest.watermark_lag", max_watermark_lag));
+}
+
 }  // namespace tinprov

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "core/types.h"
+#include "obs/health.h"
 #include "policies/tracker.h"
 #include "stream/interaction_stream.h"
 #include "util/status.h"
@@ -88,6 +89,19 @@ class StreamIngestor {
   Timestamp pull_watermark_ = std::numeric_limits<Timestamp>::lowest();
   bool reserved_ = false;
 };
+
+/// Registers the ingest-side health checks with `registry` (the ops
+/// plane calls this from ProvenanceService::EnableOpsServer):
+///   ingest.watermark_lag  healthy while the pull-side watermark leads
+///                         the applied watermark by at most
+///                         `max_watermark_lag` (stream-time units; an
+///                         infinite limit reports the value but never
+///                         trips).
+/// The checks read the ingest gauges StreamIngestor publishes, so they
+/// are valid for whichever ingestor is (or was last) running; callers
+/// unregister by name when the pipeline shuts down.
+void RegisterIngestHealthChecks(obs::HealthRegistry& registry,
+                                double max_watermark_lag);
 
 }  // namespace tinprov
 

@@ -8,16 +8,28 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstdint>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
 
+#if !defined(TINPROV_NO_THREADS)
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#endif
+
 #include "datagen/generator.h"
 #include "obs/export.h"
+#include "obs/health.h"
+#include "obs/http.h"
 #include "obs/metrics.h"
+#include "obs/recorder.h"
+#include "obs/slowlog.h"
 #include "obs/trace.h"
 #include "policies/proportional_sparse.h"
 #include "scalable/budget.h"
@@ -30,8 +42,13 @@ namespace {
 
 using obs::Counter;
 using obs::Gauge;
+using obs::HealthRegistry;
+using obs::HealthResult;
 using obs::Histogram;
 using obs::MetricsRegistry;
+using obs::OpsServer;
+using obs::Recorder;
+using obs::SlowQueryLog;
 using obs::TraceSink;
 using obs::TraceSpan;
 
@@ -40,6 +57,8 @@ class ObsTest : public ::testing::Test {
   void SetUp() override {
     MetricsRegistry::Global().ResetForTesting();
     TraceSink::Global().Clear();
+    HealthRegistry::Global().Clear();
+    SlowQueryLog::Global().Clear();
   }
 };
 
@@ -272,6 +291,409 @@ TEST_F(ObsTest, MetricsJsonIsWellFormedAndComplete) {
               std::string::npos);
   }
 }
+
+// ---- Exporters under concurrent mutation (the TSan leg runs this):
+// ---- the scrape path must stay well-formed while ingest-side threads
+// ---- hammer every metric type.
+
+#if !defined(TINPROV_NO_THREADS)
+TEST_F(ObsTest, ExportersStayWellFormedUnderConcurrentMutation) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  Counter* counter = registry.GetCounter("test.scrape_counter");
+  Gauge* gauge = registry.GetGauge("test.scrape_gauge");
+  Histogram* histogram = registry.GetHistogram("test.scrape_hist");
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&, t] {
+      uint64_t i = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        counter->Add(1);
+        gauge->Set(static_cast<double>(t * 1000 + (i % 1000)));
+        histogram->Observe(i % 4096);
+        // Interning new names concurrently exercises the registry map
+        // lock against the exporters' snapshot path.
+        if (i % 512 == 0) {
+          registry.GetCounter("test.scrape_born_" + std::to_string(t))
+              ->Add(1);
+        }
+        ++i;
+      }
+    });
+  }
+  for (int round = 0; round < 50; ++round) {
+    const std::string text = obs::PrometheusText();
+    const std::string json = obs::MetricsJson();
+    ASSERT_NE(text.find("# TYPE"), std::string::npos);
+    ASSERT_EQ(json.front(), '{');
+    ASSERT_EQ(json.back(), '}');
+    ASSERT_NE(json.find("\"counters\":{"), std::string::npos);
+    if (obs::kMetricsEnabled) {
+      ASSERT_NE(json.find("\"test.scrape_counter\":"), std::string::npos);
+    }
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& writer : writers) writer.join();
+  // A final scrape agrees with the quiesced registry exactly.
+  const std::string json = obs::MetricsJson();
+  EXPECT_NE(json.find("\"test.scrape_counter\":" +
+                      std::to_string(counter->Value())),
+            std::string::npos);
+}
+#endif  // !TINPROV_NO_THREADS
+
+// ---- TraceSink: idempotent export and drain-once semantics.
+
+TEST_F(ObsTest, TraceSinkToJsonIsIdempotent) {
+  if (!obs::kMetricsEnabled) GTEST_SKIP() << "metrics compiled out";
+  TraceSink& sink = TraceSink::Global();
+  sink.SetEnabledForTesting(true);
+  sink.Record("test.a", "test", 0, 10);
+  sink.Record("test.b", "test", 20, 10);
+  sink.SetEnabledForTesting(false);
+  const std::string first = sink.ToJson();
+  const std::string second = sink.ToJson();
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(sink.num_events(), 2u);  // export did not consume the ring
+}
+
+TEST_F(ObsTest, TraceSinkDrainHandsOutEachEventOnce) {
+  if (!obs::kMetricsEnabled) GTEST_SKIP() << "metrics compiled out";
+  TraceSink& sink = TraceSink::Global();
+  sink.SetCapacityForTesting(2);
+  sink.SetEnabledForTesting(true);
+  sink.Record("test.one", "test", 0, 1);
+  sink.Record("test.two", "test", 10, 1);
+  sink.Record("test.three", "test", 20, 1);  // overwrites test.one
+
+  const std::string drained = sink.DrainJson();
+  EXPECT_NE(drained.find("test.two"), std::string::npos);
+  EXPECT_NE(drained.find("test.three"), std::string::npos);
+  EXPECT_EQ(drained.find("test.one"), std::string::npos);
+  EXPECT_EQ(sink.num_events(), 0u);
+  EXPECT_EQ(sink.DrainJson().find("test.two"), std::string::npos);
+
+  // Drains preserve the cumulative accounting and leave the ring
+  // usable: more spans land, more drops count.
+  EXPECT_EQ(sink.recorded_events(), 3u);
+  EXPECT_EQ(sink.dropped_events(), 1u);
+  sink.Record("test.four", "test", 30, 1);
+  sink.Record("test.five", "test", 40, 1);
+  sink.Record("test.six", "test", 50, 1);
+  sink.SetEnabledForTesting(false);
+  EXPECT_EQ(sink.num_events(), 2u);
+  EXPECT_EQ(sink.recorded_events(), 6u);
+  EXPECT_EQ(sink.dropped_events(), 2u);
+  sink.SetCapacityForTesting(1 << 16);
+}
+
+#if !defined(TINPROV_NO_THREADS)
+// Drains interleaved with concurrent span emission never lose or
+// duplicate an event: everything recorded is either handed out by some
+// drain, still buffered, or counted as dropped.
+TEST_F(ObsTest, TraceSinkDrainIsSafeUnderConcurrentEmission) {
+  if (!obs::kMetricsEnabled) GTEST_SKIP() << "metrics compiled out";
+  TraceSink& sink = TraceSink::Global();
+  sink.SetCapacityForTesting(64);
+  sink.SetEnabledForTesting(true);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        sink.Record("test.emit", "test", i, 1);
+      }
+    });
+  }
+  size_t handed_out = 0;
+  for (int round = 0; round < 200; ++round) {
+    const std::string json = sink.DrainJson();
+    size_t pos = 0;
+    while ((pos = json.find("\"ph\":\"X\"", pos)) != std::string::npos) {
+      ++handed_out;
+      pos += 8;
+    }
+  }
+  for (std::thread& writer : writers) writer.join();
+  const std::string last = sink.DrainJson();
+  size_t pos = 0;
+  while ((pos = last.find("\"ph\":\"X\"", pos)) != std::string::npos) {
+    ++handed_out;
+    pos += 8;
+  }
+  sink.SetEnabledForTesting(false);
+  EXPECT_EQ(handed_out + sink.dropped_events(),
+            static_cast<size_t>(kThreads) * kPerThread);
+  EXPECT_EQ(sink.recorded_events(),
+            static_cast<size_t>(kThreads) * kPerThread);
+  sink.SetCapacityForTesting(1 << 16);
+}
+#endif  // !TINPROV_NO_THREADS
+
+// ---- HealthRegistry: aggregation, gauge mirroring, thresholds.
+
+TEST_F(ObsTest, HealthRegistryAggregatesVerdicts) {
+  HealthRegistry health;
+  EXPECT_TRUE(health.RunAll().healthy);  // vacuously healthy when empty
+  health.Register("always_ok", [] { return HealthResult{true, 1.0, "fine"}; });
+  EXPECT_TRUE(health.RunAll().healthy);
+  health.Register("broken", [] { return HealthResult{false, 9.0, "bad"}; });
+  const HealthRegistry::Report report = health.RunAll();
+  EXPECT_FALSE(report.healthy);
+  ASSERT_EQ(report.checks.size(), 2u);
+  // Sorted by name; each check carries its own verdict.
+  EXPECT_EQ(report.checks[0].name, "always_ok");
+  EXPECT_TRUE(report.checks[0].result.healthy);
+  EXPECT_EQ(report.checks[1].name, "broken");
+  EXPECT_FALSE(report.checks[1].result.healthy);
+
+  bool healthy = true;
+  const std::string json = health.Json(&healthy);
+  EXPECT_FALSE(healthy);
+  EXPECT_NE(json.find("\"healthy\":false"), std::string::npos);
+  EXPECT_NE(json.find("\"broken\":{\"healthy\":false"), std::string::npos);
+  EXPECT_NE(json.find("\"message\":\"bad\""), std::string::npos);
+
+  health.Unregister("broken");
+  EXPECT_TRUE(health.RunAll().healthy);
+  EXPECT_EQ(health.size(), 1u);
+}
+
+TEST_F(ObsTest, HealthChecksThatThrowReportUnhealthy) {
+  HealthRegistry health;
+  health.Register("throws", []() -> HealthResult {
+    throw std::runtime_error("boom");
+  });
+  const HealthRegistry::Report report = health.RunAll();
+  EXPECT_FALSE(report.healthy);
+  EXPECT_NE(report.checks[0].result.message.find("boom"), std::string::npos);
+}
+
+TEST_F(ObsTest, HealthVerdictsMirrorIntoGauges) {
+  if (!obs::kMetricsEnabled) GTEST_SKIP() << "metrics compiled out";
+  HealthRegistry health;
+  health.Register("mirrored", [] { return HealthResult{true, 0.0, ""}; });
+  health.RunAll();
+  EXPECT_DOUBLE_EQ(
+      MetricsRegistry::Global().GetGauge("health.mirrored")->Value(), 1.0);
+  health.Register("mirrored", [] { return HealthResult{false, 0.0, ""}; });
+  health.RunAll();
+  EXPECT_DOUBLE_EQ(
+      MetricsRegistry::Global().GetGauge("health.mirrored")->Value(), 0.0);
+}
+
+TEST_F(ObsTest, GaugeAtMostCheckComparesAgainstLimit) {
+  if (!obs::kMetricsEnabled) GTEST_SKIP() << "metrics compiled out";
+  MetricsRegistry::Global().GetGauge("test.lag")->Set(5.0);
+  const obs::HealthCheck check = obs::GaugeAtMostCheck("test.lag", 10.0);
+  EXPECT_TRUE(check().healthy);
+  MetricsRegistry::Global().GetGauge("test.lag")->Set(11.0);
+  const HealthResult result = check();
+  EXPECT_FALSE(result.healthy);
+  EXPECT_DOUBLE_EQ(result.value, 11.0);
+}
+
+// ---- SlowQueryLog: bounded ring, ids, JSON shape.
+
+TEST_F(ObsTest, SlowQueryLogBoundsRingAndCountsDrops) {
+  SlowQueryLog log(/*capacity=*/3);
+  const uint64_t first_id = log.NextQueryId();
+  EXPECT_GT(log.NextQueryId(), first_id);  // monotonic, never zero
+  for (uint64_t i = 1; i <= 5; ++i) {
+    obs::SlowQueryRecord record;
+    record.query_id = i;
+    record.kind = "provenance";
+    record.vertex = 10 + i;
+    record.latency_ns = static_cast<int64_t>(i) * 1000;
+    log.Record(record);
+  }
+  EXPECT_EQ(log.size(), 3u);
+  EXPECT_EQ(log.recorded(), 5u);
+  EXPECT_EQ(log.dropped(), 2u);
+  const std::vector<obs::SlowQueryRecord> snapshot = log.Snapshot();
+  ASSERT_EQ(snapshot.size(), 3u);
+  // Oldest first, and the two oldest records were the ones overwritten.
+  EXPECT_EQ(snapshot.front().query_id, 3u);
+  EXPECT_EQ(snapshot.back().query_id, 5u);
+
+  const std::string json = log.Json();
+  EXPECT_NE(json.find("\"capacity\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"recorded\":5"), std::string::npos);
+  EXPECT_NE(json.find("\"dropped\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"kind\":\"provenance\""), std::string::npos);
+  EXPECT_NE(json.find("\"vertex\":15"), std::string::npos);
+}
+
+// ---- Recorder: ring bound, windowed rates, time-series JSON.
+
+TEST_F(ObsTest, RecorderSamplesComputeWindowedDeltas) {
+  if (!obs::kMetricsEnabled) GTEST_SKIP() << "metrics compiled out";
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  Counter* counter = registry.GetCounter("test.recorded_counter");
+  registry.GetGauge("test.recorded_gauge")->Set(7.0);
+  registry.GetHistogram("test.recorded_hist")->Observe(100);
+
+  obs::RecorderOptions options;
+  options.capacity = 2;
+  Recorder recorder(options);
+  recorder.SampleNow();
+  counter->Add(1000);
+  recorder.SampleNow();
+  EXPECT_EQ(recorder.num_samples(), 2u);
+  EXPECT_DOUBLE_EQ(recorder.Delta("test.recorded_counter"), 1000.0);
+  EXPECT_GT(recorder.Rate("test.recorded_counter"), 0.0);
+  EXPECT_DOUBLE_EQ(recorder.Delta("test.absent"), 0.0);
+  EXPECT_DOUBLE_EQ(recorder.LatestGauge("test.recorded_gauge"), 7.0);
+
+  // The ring is bounded: a third sample evicts the first, and the
+  // window (now samples 2..3) no longer spans the counter bump.
+  recorder.SampleNow();
+  EXPECT_EQ(recorder.num_samples(), 2u);
+  EXPECT_EQ(recorder.total_samples(), 3u);
+  EXPECT_DOUBLE_EQ(recorder.Delta("test.recorded_counter"), 0.0);
+
+  const std::string json = recorder.TimeSeriesJson();
+  EXPECT_NE(json.find("\"samples\":["), std::string::npos);
+  EXPECT_NE(json.find("\"test.recorded_counter\":1000"), std::string::npos);
+  EXPECT_NE(json.find("\"test.recorded_hist\":{\"count\":1"),
+            std::string::npos);
+}
+
+#if !defined(TINPROV_NO_THREADS)
+TEST_F(ObsTest, RecorderBackgroundThreadKeepsSampling) {
+  obs::RecorderOptions options;
+  options.interval_ms = 2;
+  Recorder recorder(options);
+  ASSERT_TRUE(recorder.Start().ok());
+  EXPECT_FALSE(recorder.Start().ok());  // double start refused
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  recorder.Stop();
+  const size_t samples = recorder.num_samples();
+  EXPECT_GE(samples, 2u);
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_EQ(recorder.num_samples(), samples);  // thread really stopped
+}
+#endif  // !TINPROV_NO_THREADS
+
+// ---- OpsServer: routing, built-in endpoints, and the real socket.
+
+TEST_F(ObsTest, OpsServerDispatchRoutesBuiltins) {
+  MetricsRegistry::Global().GetCounter("test.ops_counter")->Add(3);
+  OpsServer server;
+
+  EXPECT_EQ(server.Dispatch("/nope").status, 404);
+
+  const obs::HttpResponse metrics = server.Dispatch("/metrics");
+  EXPECT_EQ(metrics.status, 200);
+  EXPECT_NE(metrics.body.find("# TYPE"), std::string::npos);
+
+  const obs::HttpResponse metricsz = server.Dispatch("/metricsz");
+  EXPECT_EQ(metricsz.status, 200);
+  EXPECT_EQ(metricsz.content_type, "application/json");
+  EXPECT_NE(metricsz.body.find("\"counters\":{"), std::string::npos);
+
+  const obs::HttpResponse statusz = server.Dispatch("/statusz");
+  EXPECT_EQ(statusz.status, 200);
+  EXPECT_NE(statusz.body.find("\"uptime_s\":"), std::string::npos);
+
+  const obs::HttpResponse tracez = server.Dispatch("/tracez");
+  EXPECT_EQ(tracez.status, 200);
+  EXPECT_NE(tracez.body.find("\"traceEvents\":["), std::string::npos);
+
+  const obs::HttpResponse slow = server.Dispatch("/tracez?slow=1");
+  EXPECT_NE(slow.body.find("\"queries\":["), std::string::npos);
+
+  // A custom handler overrides a built-in route.
+  server.SetHandler("/statusz", [](std::string_view) {
+    obs::HttpResponse response;
+    response.body = "override";
+    return response;
+  });
+  EXPECT_EQ(server.Dispatch("/statusz").body, "override");
+}
+
+TEST_F(ObsTest, OpsServerHealthzFlipsTo503) {
+  OpsServer server;
+  EXPECT_EQ(server.Dispatch("/healthz").status, 200);
+  HealthRegistry::Global().Register("test.forced_failure", [] {
+    return HealthResult{false, 1.0, "forced by test"};
+  });
+  const obs::HttpResponse unhealthy = server.Dispatch("/healthz");
+  EXPECT_EQ(unhealthy.status, 503);
+  EXPECT_NE(unhealthy.body.find("\"healthy\":false"), std::string::npos);
+  EXPECT_NE(unhealthy.body.find("forced by test"), std::string::npos);
+  HealthRegistry::Global().Unregister("test.forced_failure");
+  EXPECT_EQ(server.Dispatch("/healthz").status, 200);
+}
+
+// The /tracez?drain=1 route consumes the ring through the server.
+TEST_F(ObsTest, OpsServerTracezDrainConsumes) {
+  if (!obs::kMetricsEnabled) GTEST_SKIP() << "metrics compiled out";
+  TraceSink& sink = TraceSink::Global();
+  sink.SetEnabledForTesting(true);
+  sink.Record("test.served", "test", 0, 1);
+  sink.SetEnabledForTesting(false);
+  OpsServer server;
+  const obs::HttpResponse peek = server.Dispatch("/tracez");
+  EXPECT_NE(peek.body.find("test.served"), std::string::npos);
+  const obs::HttpResponse drain = server.Dispatch("/tracez?drain=1");
+  EXPECT_NE(drain.body.find("test.served"), std::string::npos);
+  EXPECT_EQ(sink.num_events(), 0u);
+  const obs::HttpResponse after = server.Dispatch("/tracez");
+  EXPECT_EQ(after.body.find("test.served"), std::string::npos);
+}
+
+#if !defined(TINPROV_NO_THREADS)
+
+/// Minimal loopback HTTP client for the socket round-trip tests.
+std::string HttpRequest(uint16_t port, const std::string& request_line) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    ::close(fd);
+    return "";
+  }
+  const std::string request = request_line + "\r\nHost: localhost\r\n\r\n";
+  (void)::send(fd, request.data(), request.size(), MSG_NOSIGNAL);
+  std::string out;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+    out.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return out;
+}
+
+TEST_F(ObsTest, OpsServerServesOverLoopbackSocket) {
+  OpsServer server;
+  ASSERT_TRUE(server.Start(0).ok());  // ephemeral port
+  ASSERT_GT(server.port(), 0);
+  EXPECT_FALSE(server.Start(0).ok());  // one listener per server
+
+  const std::string metrics =
+      HttpRequest(server.port(), "GET /metrics HTTP/1.0");
+  EXPECT_NE(metrics.find("HTTP/1.0 200 OK"), std::string::npos);
+  EXPECT_NE(metrics.find("# TYPE"), std::string::npos);
+
+  const std::string missing = HttpRequest(server.port(), "GET /no HTTP/1.0");
+  EXPECT_NE(missing.find("HTTP/1.0 404"), std::string::npos);
+
+  const std::string post = HttpRequest(server.port(), "POST /metrics HTTP/1.0");
+  EXPECT_NE(post.find("HTTP/1.0 405"), std::string::npos);
+
+  server.Stop();
+  server.Stop();  // idempotent
+  EXPECT_TRUE(HttpRequest(server.port(), "GET /metrics HTTP/1.0").empty());
+}
+
+#endif  // !TINPROV_NO_THREADS
 
 // ---- Engine integration: the layers actually report through the
 // ---- registry, and the unified memory answer is one call away.

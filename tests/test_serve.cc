@@ -9,6 +9,8 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cstdint>
+#include <cstdlib>
 #include <map>
 #include <memory>
 #include <string>
@@ -19,11 +21,17 @@
 #include "datagen/generator.h"
 #include "lazy/replay.h"
 #include "lazy/time_travel.h"
+#include "obs/health.h"
+#include "obs/slowlog.h"
 #include "serve/request_queue.h"
 #include "serve/service.h"
 #include "stream/interaction_stream.h"
 
 #if !defined(TINPROV_NO_THREADS)
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <atomic>
 #include <thread>
 #endif
@@ -507,6 +515,185 @@ TEST(ServeApiTest, MemoryBytesCoversLogicalBytesForEveryTracker) {
     (*tracker)->PublishMetrics();  // must be callable on any tracker
   }
 }
+
+// ---------------------------------------------------------------------
+// (g) Ops plane: /statusz agrees with what a pinned reader sees, the
+// slow-query log tags queries on both entry points, and /healthz flips
+// to 503 the moment a registered check reports unhealthy.
+
+// Pulls the unsigned integer following `"key":` out of hand-built JSON.
+uint64_t JsonField(const std::string& json, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const size_t pos = json.find(needle);
+  EXPECT_NE(pos, std::string::npos) << key << " missing in " << json;
+  if (pos == std::string::npos) return ~uint64_t{0};
+  return std::strtoull(json.c_str() + pos + needle.size(), nullptr, 10);
+}
+
+TEST(ServeOpsTest, StatuszJsonMatchesPinnedEpoch) {
+  const Tin tin = GeneratedTin();
+  auto service =
+      ProvenanceService::Create(StreamingSpec("Prop-sparse"), tin.Stats());
+  ASSERT_TRUE(service.ok());
+  ASSERT_TRUE(
+      (*service)->Start(std::make_unique<MaterializedStream>(tin)).ok());
+  ASSERT_TRUE((*service)->WaitIngest().ok());
+
+  // The page pins one view, exactly like a query does; after the drain
+  // both must be the final epoch.
+  const std::string statusz = (*service)->StatuszJson();
+  const QueryResult pinned = (*service)->Provenance(0);
+  ASSERT_TRUE(pinned.status.ok());
+  EXPECT_EQ(JsonField(statusz, "prefix"), pinned.epoch.prefix);
+  EXPECT_EQ(JsonField(statusz, "seq"), pinned.epoch.seq);
+  EXPECT_EQ(JsonField(statusz, "prefix"), (*service)->LatestEpoch().prefix);
+  EXPECT_NE(statusz.find("\"done\":true"), std::string::npos);
+  EXPECT_NE(statusz.find("\"total_bytes\":"), std::string::npos);
+}
+
+TEST(ServeOpsTest, SlowQueryLogTagsQueriesOnBothEntryPoints) {
+  obs::SlowQueryLog& log = obs::SlowQueryLog::Global();
+  log.Clear();
+  const Tin tin = GeneratedTin();
+  ServeOptions options;
+  options.slow_query_ns = 1;  // everything is slow
+  auto service = ProvenanceService::Create(StreamingSpec("Prop-sparse"),
+                                           tin.Stats(), options);
+  ASSERT_TRUE(service.ok());
+  ASSERT_TRUE(
+      (*service)->Start(std::make_unique<MaterializedStream>(tin)).ok());
+  ASSERT_TRUE((*service)->WaitIngest().ok());
+
+  QueryRequest request;
+  request.kind = QueryKind::kProvenance;
+  request.v = 7;
+  const QueryResult direct = (*service)->Execute(request);
+  ASSERT_TRUE(direct.status.ok());
+  EXPECT_GT(direct.query_id, 0u);
+  ASSERT_EQ(log.recorded(), 1u);
+  {
+    const std::vector<obs::SlowQueryRecord> records = log.Snapshot();
+    ASSERT_EQ(records.size(), 1u);
+    EXPECT_EQ(records[0].query_id, direct.query_id);
+    EXPECT_STREQ(records[0].kind, "provenance");
+    EXPECT_EQ(records[0].vertex, 7u);
+    EXPECT_GT(records[0].latency_ns, 0);
+    EXPECT_EQ(records[0].epoch_prefix, direct.epoch.prefix);
+  }
+
+  // Submit funnels through the same Execute wrapper.
+  request.kind = QueryKind::kTopOrigins;
+  request.v = 3;
+  request.k = 2;
+  const QueryResult submitted = (*service)->Submit(request).get();
+  ASSERT_TRUE(submitted.status.ok());
+  EXPECT_GT(submitted.query_id, direct.query_id);
+  ASSERT_EQ(log.recorded(), 2u);
+  EXPECT_STREQ(log.Snapshot().back().kind, "top_origins");
+
+  // A disabled threshold records nothing, but ids keep flowing.
+  ServeOptions quiet;
+  quiet.slow_query_ns = 0;
+  auto quiet_service = ProvenanceService::Create(
+      StreamingSpec("Prop-sparse"), tin.Stats(), quiet);
+  ASSERT_TRUE(quiet_service.ok());
+  ASSERT_TRUE((*quiet_service)
+                  ->Start(std::make_unique<MaterializedStream>(tin))
+                  .ok());
+  ASSERT_TRUE((*quiet_service)->WaitIngest().ok());
+  request.kind = QueryKind::kProvenance;
+  const QueryResult untracked = (*quiet_service)->Execute(request);
+  ASSERT_TRUE(untracked.status.ok());
+  EXPECT_GT(untracked.query_id, submitted.query_id);
+  EXPECT_EQ(log.recorded(), 2u);
+  log.Clear();
+}
+
+#if !defined(TINPROV_NO_THREADS)
+
+// Minimal loopback HTTP client (mirrors the one in test_obs.cc).
+std::string OpsHttpGet(uint16_t port, const std::string& target) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    ::close(fd);
+    return "";
+  }
+  const std::string request =
+      "GET " + target + " HTTP/1.0\r\nHost: localhost\r\n\r\n";
+  (void)::send(fd, request.data(), request.size(), MSG_NOSIGNAL);
+  std::string out;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+    out.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return out;
+}
+
+TEST(ServeOpsTest, OpsServerServesConsistentStatusAndHealth) {
+  const Tin tin = GeneratedTin();
+  auto service =
+      ProvenanceService::Create(StreamingSpec("Prop-sparse"), tin.Stats());
+  ASSERT_TRUE(service.ok());
+  ASSERT_TRUE(
+      (*service)->Start(std::make_unique<MaterializedStream>(tin)).ok());
+  ASSERT_TRUE((*service)->WaitIngest().ok());
+
+  auto port = (*service)->EnableOpsServer(0);  // ephemeral
+  ASSERT_TRUE(port.ok()) << port.status().ToString();
+  ASSERT_GT(*port, 0);
+  EXPECT_FALSE((*service)->EnableOpsServer(0).ok());  // one per service
+  ASSERT_NE((*service)->ops_recorder(), nullptr);
+
+  // /statusz over the wire reports the same epoch a pinned reader sees.
+  const std::string statusz = OpsHttpGet(*port, "/statusz");
+  EXPECT_NE(statusz.find("HTTP/1.0 200"), std::string::npos);
+  const QueryResult pinned = (*service)->Provenance(0);
+  ASSERT_TRUE(pinned.status.ok());
+  EXPECT_EQ(JsonField(statusz, "prefix"), pinned.epoch.prefix);
+
+  // Healthy service: the full catalogue passes (ingest is drained, the
+  // queue is empty, nothing dropped).
+  const std::string healthy = OpsHttpGet(*port, "/healthz");
+  EXPECT_NE(healthy.find("HTTP/1.0 200"), std::string::npos);
+  EXPECT_NE(healthy.find("\"healthy\":true"), std::string::npos);
+  EXPECT_NE(healthy.find("serve.epoch_age"), std::string::npos);
+  EXPECT_NE(healthy.find("ingest.watermark_lag"), std::string::npos);
+
+  // Force one check unhealthy: the endpoint must flip to 503.
+  obs::HealthRegistry::Global().Register("test.forced", [] {
+    obs::HealthResult result;
+    result.healthy = false;
+    result.message = "forced by test";
+    return result;
+  });
+  const std::string sick = OpsHttpGet(*port, "/healthz");
+  EXPECT_NE(sick.find("HTTP/1.0 503"), std::string::npos);
+  EXPECT_NE(sick.find("forced by test"), std::string::npos);
+  obs::HealthRegistry::Global().Unregister("test.forced");
+  EXPECT_NE(OpsHttpGet(*port, "/healthz").find("HTTP/1.0 200"),
+            std::string::npos);
+
+  // The other built-ins answer through the same listener.
+  EXPECT_NE(OpsHttpGet(*port, "/metrics").find("# TYPE"), std::string::npos);
+  EXPECT_NE(OpsHttpGet(*port, "/metricsz").find("\"counters\""),
+            std::string::npos);
+
+  (*service)->DisableOpsServer();
+  (*service)->DisableOpsServer();  // idempotent
+  EXPECT_TRUE(OpsHttpGet(*port, "/healthz").empty());
+  // The service's health checks left the global registry with it.
+  EXPECT_EQ(obs::HealthRegistry::Global().size(), 0u);
+}
+
+#endif  // !TINPROV_NO_THREADS
 
 }  // namespace
 }  // namespace tinprov
