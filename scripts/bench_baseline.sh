@@ -62,6 +62,7 @@ json_run bench_parallel "${OUT_DIR}/BENCH_parallel.json"
 json_run bench_lazy "${OUT_DIR}/BENCH_lazy.json"
 json_run bench_stream "${OUT_DIR}/BENCH_stream.json"
 json_run bench_serve "${OUT_DIR}/BENCH_serve.json"
+json_run bench_storage "${OUT_DIR}/BENCH_storage.json"
 json_run bench_budget "${OUT_DIR}/BENCH_budget.json"
 json_run bench_windowing "${OUT_DIR}/BENCH_windowing.json"
 json_run bench_selective_grouped "${OUT_DIR}/BENCH_selective_grouped.json"

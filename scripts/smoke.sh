@@ -88,7 +88,17 @@ run_pinned 0.1 bench_stream
 # additionally lands in TINPROV_SERVE_SMOKE_LOG when set (CI uploads it
 # as the per-job bench-serve artifact).
 TINPROV_SCALE=0.1 run_logged "${TINPROV_SERVE_SMOKE_LOG:-}" bench_serve
+# bench_storage writes and recovers real on-disk logs; pinned so the
+# smoke's disk and fsync cost stays bounded.
+run_pinned 0.1 bench_storage
 run bench_micro --benchmark_min_time=0.01
+
+# Crash-recovery smoke: kill -9 a durable ingest mid-flight and verify
+# the restart resumes bit-identically (scripts/crash_smoke.sh drives
+# bench_storage's ingest/verify roles). One round per tracker here —
+# the dedicated CI step runs the longer loop.
+echo "--- crash smoke"
+"$(dirname "$0")/crash_smoke.sh" "${BUILD_DIR}" 1
 
 # Observability smoke: the obs unit tests guard the metrics/trace
 # exporters the trace check below depends on, so run them first when the

@@ -142,7 +142,52 @@ ProvenanceService::CreateWithHistory(
   if (!factory.ok()) return factory.status();
   std::vector<uint8_t> handoff;
   const std::vector<uint8_t>* handoff_state = nullptr;
-  if (history != nullptr) {
+
+  // Durability: recover whatever the directory holds, seed the service
+  // from it (state + history index), and open the log for appending at
+  // the recovered position.
+  std::unique_ptr<storage::DurableLog> durable;
+  uint64_t durable_base = 0;
+  if (options.durability.Enabled()) {
+    storage::Env* env = options.durability.env != nullptr
+                            ? options.durability.env
+                            : storage::Env::Posix();
+    storage::RecoveredState recovered;
+    if (options.durability.recover) {
+      storage::RecoveryManager manager(env, options.durability.dir);
+      auto result = manager.Recover(*factory);
+      if (!result.ok()) return result.status();
+      recovered = *std::move(result);
+    }
+    if (recovered.prefix > 0) {
+      if (history != nullptr) {
+        return Status::InvalidArgument(
+            "pass one source of pre-ingest history: the durability "
+            "directory already holds " +
+            std::to_string(recovered.prefix) +
+            " recovered interactions, drop the handoff index (or the "
+            "recovered state, with DurabilityOptions::recover = false)");
+      }
+      auto index = storage::BuildRecoveredIndex(
+          recovered, stats.num_vertices, *factory,
+          options.durability.history_snapshot_interval);
+      if (!index.ok()) return index.status();
+      history = *std::move(index);
+      // The recovered SaveState bytes are the handoff — bit-identical
+      // to the index's SaveFinalState by the resume contract, without
+      // re-restoring a snapshot.
+      handoff = std::move(recovered.state);
+      handoff_state = &handoff;
+    }
+    auto log = storage::DurableLog::Open(env, options.durability.dir,
+                                         recovered.prefix, recovered.next_seq,
+                                         options.durability.log);
+    if (!log.ok()) return log.status();
+    durable = *std::move(log);
+    durable_base = recovered.prefix;
+  }
+
+  if (history != nullptr && handoff_state == nullptr) {
     if (!history->finalized()) {
       return Status::FailedPrecondition(
           "serve handoff needs a finalized time-travel index");
@@ -158,6 +203,8 @@ ProvenanceService::CreateWithHistory(
   }
   std::unique_ptr<ProvenanceService> service(new ProvenanceService(
       *std::move(factory), stats, options, std::move(history)));
+  service->durable_ = std::move(durable);
+  service->durable_base_ = durable_base;
   const Status status = service->Init(handoff_state);
   if (!status.ok()) return status;
   return service;
@@ -306,16 +353,46 @@ Status ProvenanceService::PublishEpoch(size_t prefix, Timestamp watermark) {
   TINPROV_GAUGE_SET("memory.serve_log_bytes", log_size_ * sizeof(Interaction));
   TINPROV_GAUGE_SET("memory.serve_snapshot_bytes", snapshot_bytes_);
   TINPROV_GAUGE_SET("memory.serve_epoch_state_bytes", state->size());
+
+  // Epoch published → snapshot persisted (at its global log position).
+  // WriteSnapshot syncs the segment log first, so a snapshot on disk is
+  // always backed by a durable log at least as long. Under kFailStop an
+  // error surfaces as the ingest status; under kDegrade the log
+  // absorbed it and flipped the storage.durability health check.
+  if (durable_ != nullptr) {
+    const Status durable_status =
+        durable_->WriteSnapshot(durable_base_ + prefix, watermark, *state);
+    if (!durable_status.ok()) return durable_status;
+  }
   return Status::Ok();
 }
+
+namespace {
+
+/// BatchSink adapter: applied micro-batches flow into the durable log.
+class DurableBatchSink : public BatchSink {
+ public:
+  explicit DurableBatchSink(storage::DurableLog* log) : log_(log) {}
+
+  Status OnBatch(const Interaction* batch, size_t count) override {
+    return log_->Append(batch, count);
+  }
+
+ private:
+  storage::DurableLog* log_;
+};
+
+}  // namespace
 
 Status ProvenanceService::RunIngest() {
   obs::TraceSpan span("serve.ingest", "serve");
   LogSink sink(this, stream_.get());
+  DurableBatchSink durable_sink(durable_.get());
   IngestOptions ingest_options;
   ingest_options.batch_size = std::min(options_.ingest_batch,
                                        options_.epoch_interval);
   ingest_options.initial_watermark = history_watermark_;
+  if (durable_ != nullptr) ingest_options.sink = &durable_sink;
   StreamIngestor ingestor(live_tracker_.get(), ingest_options);
 
   size_t last_published = 0;
@@ -343,6 +420,12 @@ Status ProvenanceService::RunIngest() {
     const Status status = PublishEpoch(
         final_ingest_stats_.interactions,
         std::max(final_ingest_stats_.watermark, history_watermark_));
+    if (!status.ok()) return status;
+  }
+  if (durable_ != nullptr) {
+    // Clean drain: footer + fsync, so the next recovery reads a sealed
+    // segment instead of trusting-then-truncating an open tail.
+    const Status status = durable_->Seal();
     if (!status.ok()) return status;
   }
   return Status::Ok();
@@ -601,6 +684,29 @@ std::string ProvenanceService::StatuszJson() const {
     if (name.rfind("memory.", 0) != 0) continue;
     out += ",\"" + name + "\":" + JsonDouble(value);
   }
+  out += "},\"storage\":{\"enabled\":";
+  out += durable_ != nullptr ? "true" : "false";
+  if (durable_ != nullptr) {
+    // prefix/degraded come straight from DurableLog's atomics (safe
+    // from this ops thread, and truthful even when TINPROV_METRICS=OFF
+    // compiles the gauge mirrors away); the counters are registry-only
+    // best-effort stats.
+    out += ",\"durable_prefix\":" +
+           std::to_string(durable_->prefix());
+    out += ",\"degraded\":";
+    out += durable_->degraded() ? "true" : "false";
+    out += ",\"segments_sealed\":" +
+           std::to_string(
+               registry.GetCounter("storage.segments_sealed")->Value());
+    out += ",\"snapshots_written\":" +
+           std::to_string(
+               registry.GetCounter("storage.snapshots_written")->Value());
+    out += ",\"bytes_written\":" +
+           std::to_string(registry.GetCounter("storage.bytes_written")->Value());
+    out += ",\"recovered_interactions\":" +
+           JsonDouble(
+               registry.GetGauge("storage.recovered_interactions")->Value());
+  }
   out += "},\"recorder\":{\"samples\":" +
          std::to_string(ops_recorder_ != nullptr ? ops_recorder_->num_samples()
                                                  : 0);
@@ -663,6 +769,59 @@ StatusOr<uint16_t> ProvenanceService::EnableOpsServer(uint16_t port) {
   health_checks_ = {"serve.epoch_age", "serve.queue_depth",
                     "ingest.watermark_lag", "trace.drops",
                     "tracker.alpha_residue"};
+  if (durable_ != nullptr) {
+    // storage.durability: healthy while the log has not degraded to
+    // memory. Reads DurableLog::degraded() (an atomic latched by the
+    // ingest thread) directly rather than the gauge mirror, so the
+    // check works in TINPROV_METRICS=OFF builds too; `durable_`
+    // outlives the check (unregistered in DisableOpsServer).
+    storage::DurableLog* log = durable_.get();
+    health.Register("storage.durability", [log] {
+      obs::HealthResult result;
+      result.value = log->degraded() ? 1.0 : 0.0;
+      result.healthy = !log->degraded();
+      result.message =
+          log->degraded()
+              ? "log degraded to memory-only after a storage failure"
+              : "appending at prefix " + std::to_string(log->prefix());
+      return result;
+    });
+    // storage.segment_corrupt: any checksum-mismatched record seen by
+    // recovery means bit rot on this disk — surface it even though
+    // recovery itself carried on.
+    health.Register("storage.segment_corrupt", [] {
+      obs::HealthResult result;
+      result.value = static_cast<double>(obs::MetricsRegistry::Global()
+                                             .GetCounter(
+                                                 "storage.segment_corrupt")
+                                             ->Value());
+      result.healthy = result.value == 0.0;
+      result.message =
+          "recovery saw " +
+          std::to_string(static_cast<uint64_t>(result.value)) +
+          " corrupt segment record(s)";
+      return result;
+    });
+    const uint64_t min_free = options_.durability.min_free_disk_bytes;
+    storage::Env* env = durable_->env();
+    const std::string dir = durable_->dir();
+    health.Register("storage.disk_headroom", [env, dir, min_free] {
+      obs::HealthResult result;
+      auto free_bytes = env->FreeDiskBytes(dir);
+      result.value =
+          free_bytes.ok() ? static_cast<double>(*free_bytes) : 0.0;
+      result.healthy = free_bytes.ok() && *free_bytes >= min_free;
+      result.message =
+          free_bytes.ok()
+              ? std::to_string(*free_bytes) + " bytes free (floor " +
+                    std::to_string(min_free) + ")"
+              : "statvfs failed: " + std::string(free_bytes.status().message());
+      return result;
+    });
+    health_checks_.push_back("storage.durability");
+    health_checks_.push_back("storage.segment_corrupt");
+    health_checks_.push_back("storage.disk_headroom");
+  }
 
   auto server = std::make_unique<obs::OpsServer>();
   server->SetHandler("/statusz", [this](std::string_view) {

@@ -61,6 +61,8 @@
 #include "core/types.h"
 #include "lazy/time_travel.h"
 #include "serve/request_queue.h"
+#include "storage/durable_log.h"
+#include "storage/recovery.h"
 #include "stream/ingest.h"
 #include "stream/interaction_stream.h"
 #include "util/status.h"
@@ -76,6 +78,38 @@ namespace obs {
 class OpsServer;
 class Recorder;
 }  // namespace obs
+
+/// Durability wiring for a service (ServeOptions::durability). With a
+/// non-empty dir the service recovers whatever the directory holds on
+/// construction (newest valid snapshot + checksummed log replay,
+/// truncating at the first torn or corrupt record), seeds its live
+/// tracker and a TimeTravelIndex from the recovered state, then keeps
+/// the directory current: every applied micro-batch lands in the
+/// segment log, every published epoch's byte image becomes a snapshot.
+/// A restart therefore resumes bit-identically to a clean replay of
+/// the recovered prefix.
+struct DurabilityOptions {
+  /// Storage directory (created if missing). Empty = in-memory only —
+  /// the pre-durability behavior, and the default.
+  std::string dir;
+  /// Filesystem boundary; null = storage::Env::Posix(). Tests pass a
+  /// FaultInjectingEnv here to crash the pipeline at exact I/O ops.
+  storage::Env* env = nullptr;
+  /// Segment rotation / per-batch fsync / fail-stop-vs-degrade policy.
+  storage::DurableLogOptions log;
+  /// Recover existing state on construction. Off opens the directory
+  /// for appending only (a deliberate restart-from-scratch keeps old
+  /// segments dead weight — prefer a fresh dir).
+  bool recover = true;
+  /// Snapshot interval of the TimeTravelIndex built over the recovered
+  /// log (pre-crash historical queries).
+  size_t history_snapshot_interval = 4096;
+  /// storage.disk_headroom health check trips below this many free
+  /// bytes on dir's filesystem.
+  uint64_t min_free_disk_bytes = 64ull << 20;
+
+  bool Enabled() const { return !dir.empty(); }
+};
 
 struct ServeOptions {
   /// Interactions between epoch publishes. Lower = fresher reads,
@@ -117,6 +151,11 @@ struct ServeOptions {
   /// (the ring always holds the most recent capacity*interval window).
   int64_t ops_recorder_interval_ms = 250;
   size_t ops_recorder_capacity = 512;
+
+  // --- Durability (storage/ layer) ---------------------------------------
+
+  /// Off (empty dir) by default. See DurabilityOptions.
+  DurabilityOptions durability;
 };
 
 class ProvenanceService {
@@ -262,6 +301,13 @@ class ProvenanceService {
   // Writer-owned after Start() (and during Init).
   std::unique_ptr<Tracker> live_tracker_;
   std::unique_ptr<InteractionStream> stream_;
+  /// Durable log, or null when ServeOptions::durability is off. Written
+  /// by the writer thread; other threads observe it through the
+  /// storage.* gauges only.
+  std::unique_ptr<storage::DurableLog> durable_;
+  /// Recovered global prefix — the durable log position local epoch
+  /// prefixes are offset by (snapshot files carry global positions).
+  uint64_t durable_base_ = 0;
   class LogSink;  // service.cc: tee stream appending into the chunked log
   std::vector<std::shared_ptr<std::vector<Interaction>>> chunks_;
   size_t log_size_ = 0;

@@ -1,0 +1,185 @@
+#include "storage/env.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/statvfs.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace tinprov::storage {
+
+namespace {
+
+Status ErrnoStatus(const std::string& op, const std::string& path, int err) {
+  const std::string message = op + " " + path + ": " + std::strerror(err);
+  if (err == ENOENT) return Status::NotFound(message);
+  if (err == ENOSPC || err == EDQUOT) {
+    return Status::ResourceExhausted(message);
+  }
+  return Status::Unavailable(message);
+}
+
+class PosixWritableFile : public WritableFile {
+ public:
+  PosixWritableFile(std::string path, int fd)
+      : path_(std::move(path)), fd_(fd) {}
+
+  ~PosixWritableFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Status Append(const uint8_t* data, size_t n) override {
+    if (fd_ < 0) return Status::FailedPrecondition("append to closed file");
+    while (n > 0) {
+      const ssize_t written = ::write(fd_, data, n);
+      if (written < 0) {
+        if (errno == EINTR) continue;
+        return ErrnoStatus("write", path_, errno);
+      }
+      data += written;
+      n -= static_cast<size_t>(written);
+    }
+    return Status::Ok();
+  }
+
+  Status Sync() override {
+    if (fd_ < 0) return Status::FailedPrecondition("sync of closed file");
+    if (::fsync(fd_) != 0) return ErrnoStatus("fsync", path_, errno);
+    return Status::Ok();
+  }
+
+  Status Close() override {
+    if (fd_ < 0) return Status::Ok();
+    const int fd = fd_;
+    fd_ = -1;
+    if (::close(fd) != 0) return ErrnoStatus("close", path_, errno);
+    return Status::Ok();
+  }
+
+ private:
+  std::string path_;
+  int fd_;
+};
+
+class PosixRandomAccessFile : public RandomAccessFile {
+ public:
+  PosixRandomAccessFile(std::string path, int fd)
+      : path_(std::move(path)), fd_(fd) {}
+
+  ~PosixRandomAccessFile() override { ::close(fd_); }
+
+  Status Read(uint64_t offset, size_t n, uint8_t* out,
+              size_t* bytes_read) const override {
+    *bytes_read = 0;
+    while (*bytes_read < n) {
+      const ssize_t got =
+          ::pread(fd_, out + *bytes_read, n - *bytes_read,
+                  static_cast<off_t>(offset + *bytes_read));
+      if (got < 0) {
+        if (errno == EINTR) continue;
+        return ErrnoStatus("pread", path_, errno);
+      }
+      if (got == 0) break;  // end of file: short read, not an error
+      *bytes_read += static_cast<size_t>(got);
+    }
+    return Status::Ok();
+  }
+
+  StatusOr<uint64_t> Size() const override {
+    struct stat st;
+    if (::fstat(fd_, &st) != 0) return ErrnoStatus("fstat", path_, errno);
+    return static_cast<uint64_t>(st.st_size);
+  }
+
+ private:
+  std::string path_;
+  int fd_;
+};
+
+class PosixEnv : public Env {
+ public:
+  StatusOr<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path) override {
+    const int fd =
+        ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+    if (fd < 0) return ErrnoStatus("open", path, errno);
+    return std::unique_ptr<WritableFile>(
+        std::make_unique<PosixWritableFile>(path, fd));
+  }
+
+  StatusOr<std::unique_ptr<RandomAccessFile>> NewRandomAccessFile(
+      const std::string& path) override {
+    const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0) return ErrnoStatus("open", path, errno);
+    return std::unique_ptr<RandomAccessFile>(
+        std::make_unique<PosixRandomAccessFile>(path, fd));
+  }
+
+  bool FileExists(const std::string& path) override {
+    return ::access(path.c_str(), F_OK) == 0;
+  }
+
+  StatusOr<uint64_t> FileSize(const std::string& path) override {
+    struct stat st;
+    if (::stat(path.c_str(), &st) != 0) return ErrnoStatus("stat", path, errno);
+    return static_cast<uint64_t>(st.st_size);
+  }
+
+  StatusOr<std::vector<std::string>> ListDir(const std::string& dir) override {
+    DIR* d = ::opendir(dir.c_str());
+    if (d == nullptr) return ErrnoStatus("opendir", dir, errno);
+    std::vector<std::string> names;
+    while (const struct dirent* entry = ::readdir(d)) {
+      const std::string name = entry->d_name;
+      if (name != "." && name != "..") names.push_back(name);
+    }
+    ::closedir(d);
+    return names;
+  }
+
+  Status CreateDir(const std::string& dir) override {
+    if (::mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
+      return ErrnoStatus("mkdir", dir, errno);
+    }
+    return Status::Ok();
+  }
+
+  Status DeleteFile(const std::string& path) override {
+    if (::unlink(path.c_str()) != 0) return ErrnoStatus("unlink", path, errno);
+    return Status::Ok();
+  }
+
+  Status RenameFile(const std::string& from, const std::string& to) override {
+    if (::rename(from.c_str(), to.c_str()) != 0) {
+      return ErrnoStatus("rename", from + " -> " + to, errno);
+    }
+    return Status::Ok();
+  }
+
+  StatusOr<uint64_t> FreeDiskBytes(const std::string& path) override {
+    struct statvfs fs;
+    if (::statvfs(path.c_str(), &fs) != 0) {
+      return ErrnoStatus("statvfs", path, errno);
+    }
+    return static_cast<uint64_t>(fs.f_bavail) *
+           static_cast<uint64_t>(fs.f_frsize);
+  }
+};
+
+}  // namespace
+
+Env* Env::Posix() {
+  static PosixEnv* env = new PosixEnv();  // leaked like the registries
+  return env;
+}
+
+std::string JoinPath(const std::string& dir, const std::string& name) {
+  if (dir.empty()) return name;
+  if (dir.back() == '/') return dir + name;
+  return dir + "/" + name;
+}
+
+}  // namespace tinprov::storage

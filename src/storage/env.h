@@ -1,0 +1,98 @@
+// Env: the storage layer's operating-system boundary.
+//
+// Everything in src/storage/ reaches the filesystem through this
+// interface, never through raw POSIX calls, for one reason: crash
+// recovery is only trustworthy if every failure mode the kernel can
+// produce — failed writes, short writes, torn tails, bit rot, missing
+// fsync — can be produced on demand in a unit test. Env::Posix() is the
+// real implementation; storage/fault_env.h wraps any Env and injects
+// those failures at exact operation counts, so the recovery tests run
+// the same code the production path runs.
+//
+// Error vocabulary: NotFound for missing paths, Unavailable for I/O
+// failures (the degradation policy's trigger), InvalidArgument for
+// caller mistakes. Short reads at end of file are not errors — Read
+// reports the byte count and the caller decides.
+#ifndef TINPROV_STORAGE_ENV_H_
+#define TINPROV_STORAGE_ENV_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace tinprov::storage {
+
+/// Sequential append-only sink. Append buffers in the OS; Sync makes
+/// everything appended so far durable (flush + fsync). Close without
+/// Sync is allowed — durability is then whatever the OS got around to,
+/// exactly the window crash recovery must tolerate.
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+
+  virtual Status Append(const uint8_t* data, size_t n) = 0;
+  virtual Status Sync() = 0;
+  virtual Status Close() = 0;
+};
+
+/// Positional reader. Thread-compatible: concurrent Read calls on one
+/// instance are safe (pread semantics), mutation is the caller's lock.
+class RandomAccessFile {
+ public:
+  virtual ~RandomAccessFile() = default;
+
+  /// Reads up to `n` bytes at `offset` into `out`; `*bytes_read` < n
+  /// signals end of file, not an error.
+  virtual Status Read(uint64_t offset, size_t n, uint8_t* out,
+                      size_t* bytes_read) const = 0;
+
+  virtual StatusOr<uint64_t> Size() const = 0;
+};
+
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  /// The process-wide POSIX implementation (never destroyed).
+  static Env* Posix();
+
+  /// Creates or truncates `path` for appending.
+  virtual StatusOr<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path) = 0;
+
+  virtual StatusOr<std::unique_ptr<RandomAccessFile>> NewRandomAccessFile(
+      const std::string& path) = 0;
+
+  virtual bool FileExists(const std::string& path) = 0;
+  virtual StatusOr<uint64_t> FileSize(const std::string& path) = 0;
+
+  /// Plain entries of `dir` (no dot entries), unsorted.
+  virtual StatusOr<std::vector<std::string>> ListDir(
+      const std::string& dir) = 0;
+
+  /// mkdir -p semantics for one level: Ok when `dir` already exists.
+  virtual Status CreateDir(const std::string& dir) = 0;
+
+  virtual Status DeleteFile(const std::string& path) = 0;
+
+  /// Atomic replace (POSIX rename): the visibility primitive the
+  /// snapshot store's write-temp-then-rename protocol builds on.
+  virtual Status RenameFile(const std::string& from,
+                            const std::string& to) = 0;
+
+  /// Free bytes on the filesystem holding `path` — the disk-headroom
+  /// health check's input. Implementations without a notion of disk
+  /// space may report a large constant.
+  virtual StatusOr<uint64_t> FreeDiskBytes(const std::string& path) = 0;
+};
+
+/// `dir` + "/" + `name` without doubling separators.
+std::string JoinPath(const std::string& dir, const std::string& name);
+
+}  // namespace tinprov::storage
+
+#endif  // TINPROV_STORAGE_ENV_H_

@@ -1,0 +1,183 @@
+#include "storage/fault_env.h"
+
+#include <utility>
+
+namespace tinprov::storage {
+
+std::string_view FaultModeName(FaultMode mode) {
+  switch (mode) {
+    case FaultMode::kNone:
+      return "none";
+    case FaultMode::kFailWrite:
+      return "fail-write";
+    case FaultMode::kShortWrite:
+      return "short-write";
+    case FaultMode::kTornWrite:
+      return "torn-write";
+    case FaultMode::kCorruptWrite:
+      return "corrupt-write";
+    case FaultMode::kFailSync:
+      return "fail-sync";
+    case FaultMode::kFailRead:
+      return "fail-read";
+    case FaultMode::kCorruptRead:
+      return "corrupt-read";
+  }
+  return "unknown";
+}
+
+std::vector<FaultMode> AllFaultModes() {
+  return {FaultMode::kFailWrite,    FaultMode::kShortWrite,
+          FaultMode::kTornWrite,    FaultMode::kCorruptWrite,
+          FaultMode::kFailSync,     FaultMode::kFailRead,
+          FaultMode::kCorruptRead};
+}
+
+void FaultInjectingEnv::Arm(const FaultPlan& plan) {
+  mode_.store(plan.mode, std::memory_order_relaxed);
+  trigger_op_.store(plan.trigger_op, std::memory_order_relaxed);
+  permanent_.store(plan.permanent, std::memory_order_relaxed);
+  tripped_.store(false, std::memory_order_relaxed);
+  ops_.store(0, std::memory_order_relaxed);
+  faults_.store(0, std::memory_order_relaxed);
+}
+
+FaultMode FaultInjectingEnv::NextOp() {
+  const FaultMode mode = mode_.load(std::memory_order_relaxed);
+  const uint64_t op = ops_.fetch_add(1, std::memory_order_relaxed);
+  if (mode == FaultMode::kNone) return FaultMode::kNone;
+  // Torn writes latch: once the "crash" happened, nothing later lands.
+  // Later ops count as faults too, so FaultWritableFile can tell the
+  // first torn op (persist a prefix) from the rest (drop entirely).
+  if (mode == FaultMode::kTornWrite &&
+      tripped_.load(std::memory_order_relaxed)) {
+    faults_.fetch_add(1, std::memory_order_relaxed);
+    return mode;
+  }
+  if (op < trigger_op_.load(std::memory_order_relaxed)) return FaultMode::kNone;
+  if (op > trigger_op_.load(std::memory_order_relaxed) &&
+      !permanent_.load(std::memory_order_relaxed) &&
+      mode != FaultMode::kTornWrite) {
+    return FaultMode::kNone;
+  }
+  if (mode == FaultMode::kTornWrite) {
+    tripped_.store(true, std::memory_order_relaxed);
+  }
+  faults_.fetch_add(1, std::memory_order_relaxed);
+  return mode;
+}
+
+namespace {
+
+void FlipOneBit(uint8_t* data, size_t n) {
+  if (n == 0) return;
+  // Deterministic target: the middle byte's low bit. Checksums do not
+  // care which bit; determinism keeps test failures reproducible.
+  data[n / 2] ^= 0x01;
+}
+
+}  // namespace
+
+class FaultWritableFile : public WritableFile {
+ public:
+  FaultWritableFile(FaultInjectingEnv* env, std::unique_ptr<WritableFile> base)
+      : env_(env), base_(std::move(base)) {}
+
+  Status Append(const uint8_t* data, size_t n) override {
+    switch (env_->NextOp()) {
+      case FaultMode::kFailWrite:
+        return Status::Unavailable("injected write failure");
+      case FaultMode::kShortWrite: {
+        const size_t kept = n / 2;
+        if (kept > 0) {
+          const Status status = base_->Append(data, kept);
+          if (!status.ok()) return status;
+        }
+        return Status::Unavailable("injected short write (" +
+                                   std::to_string(kept) + " of " +
+                                   std::to_string(n) + " bytes persisted)");
+      }
+      case FaultMode::kTornWrite: {
+        // First torn op persists a prefix; later ops vanish entirely.
+        // Success is reported either way — the "process" does not know
+        // it is dead yet.
+        if (env_->faults_injected() == 1 && n > 0) {
+          const Status status = base_->Append(data, n / 2);
+          if (!status.ok()) return status;
+        }
+        return Status::Ok();
+      }
+      case FaultMode::kCorruptWrite: {
+        std::vector<uint8_t> copy(data, data + n);
+        FlipOneBit(copy.data(), copy.size());
+        return base_->Append(copy.data(), copy.size());
+      }
+      default:
+        return base_->Append(data, n);
+    }
+  }
+
+  Status Sync() override {
+    switch (env_->NextOp()) {
+      case FaultMode::kFailSync:
+        return Status::Unavailable("injected sync failure");
+      case FaultMode::kTornWrite:
+        return Status::Ok();  // the crashed process never synced
+      default:
+        return base_->Sync();
+    }
+  }
+
+  Status Close() override { return base_->Close(); }
+
+ private:
+  FaultInjectingEnv* env_;
+  std::unique_ptr<WritableFile> base_;
+};
+
+class FaultRandomAccessFile : public RandomAccessFile {
+ public:
+  FaultRandomAccessFile(FaultInjectingEnv* env,
+                        std::unique_ptr<RandomAccessFile> base)
+      : env_(env), base_(std::move(base)) {}
+
+  Status Read(uint64_t offset, size_t n, uint8_t* out,
+              size_t* bytes_read) const override {
+    switch (env_->NextOp()) {
+      case FaultMode::kFailRead:
+        *bytes_read = 0;
+        return Status::Unavailable("injected read failure");
+      case FaultMode::kCorruptRead: {
+        const Status status = base_->Read(offset, n, out, bytes_read);
+        if (status.ok()) FlipOneBit(out, *bytes_read);
+        return status;
+      }
+      default:
+        return base_->Read(offset, n, out, bytes_read);
+    }
+  }
+
+  StatusOr<uint64_t> Size() const override { return base_->Size(); }
+
+ private:
+  FaultInjectingEnv* env_;
+  std::unique_ptr<RandomAccessFile> base_;
+};
+
+StatusOr<std::unique_ptr<WritableFile>> FaultInjectingEnv::NewWritableFile(
+    const std::string& path) {
+  auto base = base_->NewWritableFile(path);
+  if (!base.ok()) return base.status();
+  return std::unique_ptr<WritableFile>(
+      std::make_unique<FaultWritableFile>(this, *std::move(base)));
+}
+
+StatusOr<std::unique_ptr<RandomAccessFile>>
+FaultInjectingEnv::NewRandomAccessFile(const std::string& path) {
+  auto base = base_->NewRandomAccessFile(path);
+  if (!base.ok()) return base.status();
+  return std::unique_ptr<RandomAccessFile>(
+      std::make_unique<FaultRandomAccessFile>(this, *std::move(base)));
+}
+
+}  // namespace tinprov::storage

@@ -1,0 +1,138 @@
+// FaultInjectingEnv: deterministic disk failure on demand.
+//
+// Wraps any Env and injects one failure mode at an exact I/O operation
+// count, so every recovery test states precisely which byte of which
+// write went wrong and replays it forever. The operation counter spans
+// every file the env ever opened (Append, Sync, and Read each count
+// one op), which is what makes "kill the ingest at operation N" a
+// meaningful, repeatable point in a multi-file write schedule.
+//
+// Modes model the real failure taxonomy:
+//   kFailWrite    Append fails cleanly, nothing reaches the base file —
+//                 a full disk or pulled device the writer observes.
+//   kShortWrite   Append persists a prefix then fails — ENOSPC halfway
+//                 through a record; the writer observes the error, the
+//                 file keeps the torn tail.
+//   kTornWrite    Append persists a prefix and *reports success*; every
+//                 later Append/Sync is silently dropped. This is
+//                 kill -9 / power loss as the file sees it: the process
+//                 believed its writes landed, the disk disagrees.
+//   kCorruptWrite Append persists all bytes with one bit flipped and
+//                 reports success — silent media corruption under the
+//                 checksums.
+//   kFailSync     Sync fails; appended bytes stay in the page cache.
+//   kFailRead     Read fails (recovery-path I/O error).
+//   kCorruptRead  Read succeeds with one bit flipped (bit rot noticed
+//                 only at recovery time).
+//
+// One-shot by default (`permanent` repeats the fault on every later
+// op — the disk stayed broken). Thread-safe: counters are atomic.
+#ifndef TINPROV_STORAGE_FAULT_ENV_H_
+#define TINPROV_STORAGE_FAULT_ENV_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/env.h"
+
+namespace tinprov::storage {
+
+enum class FaultMode {
+  kNone,
+  kFailWrite,
+  kShortWrite,
+  kTornWrite,
+  kCorruptWrite,
+  kFailSync,
+  kFailRead,
+  kCorruptRead,
+};
+
+/// Display name ("torn-write", ...) for test matrices and logs.
+std::string_view FaultModeName(FaultMode mode);
+
+/// Every injectable mode, for fault-matrix loops.
+std::vector<FaultMode> AllFaultModes();
+
+struct FaultPlan {
+  FaultMode mode = FaultMode::kNone;
+  /// The 0-based index of the counted operation the fault fires on.
+  uint64_t trigger_op = 0;
+  /// Repeat the fault on every operation at or after trigger_op (a disk
+  /// that stays broken). kTornWrite is always permanent — a crashed
+  /// process never writes again.
+  bool permanent = false;
+};
+
+class FaultInjectingEnv : public Env {
+ public:
+  /// Borrows `base` (typically Env::Posix()), which must outlive this.
+  explicit FaultInjectingEnv(Env* base) : base_(base) {}
+
+  /// Installs `plan` and resets the operation counter, so trigger_op
+  /// counts from this call.
+  void Arm(const FaultPlan& plan);
+
+  /// Back to transparent pass-through (counter keeps running).
+  void Disarm() { Arm({}); }
+
+  /// Counted operations (Append/Sync/Read) since the last Arm.
+  uint64_t op_count() const { return ops_.load(std::memory_order_relaxed); }
+
+  /// Faults fired since the last Arm.
+  uint64_t faults_injected() const {
+    return faults_.load(std::memory_order_relaxed);
+  }
+
+  StatusOr<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path) override;
+  StatusOr<std::unique_ptr<RandomAccessFile>> NewRandomAccessFile(
+      const std::string& path) override;
+  bool FileExists(const std::string& path) override {
+    return base_->FileExists(path);
+  }
+  StatusOr<uint64_t> FileSize(const std::string& path) override {
+    return base_->FileSize(path);
+  }
+  StatusOr<std::vector<std::string>> ListDir(const std::string& dir) override {
+    return base_->ListDir(dir);
+  }
+  Status CreateDir(const std::string& dir) override {
+    return base_->CreateDir(dir);
+  }
+  Status DeleteFile(const std::string& path) override {
+    return base_->DeleteFile(path);
+  }
+  Status RenameFile(const std::string& from, const std::string& to) override {
+    return base_->RenameFile(from, to);
+  }
+  StatusOr<uint64_t> FreeDiskBytes(const std::string& path) override {
+    return base_->FreeDiskBytes(path);
+  }
+
+ private:
+  friend class FaultWritableFile;
+  friend class FaultRandomAccessFile;
+
+  /// Returns the mode to inject for this operation (kNone = proceed),
+  /// advancing the shared counter.
+  FaultMode NextOp();
+
+  Env* base_;
+  std::atomic<uint64_t> ops_{0};
+  std::atomic<uint64_t> faults_{0};
+  // Plan fields are written by Arm (test setup, single-threaded) and
+  // read by I/O threads; atomics keep the env TSan-clean without a lock
+  // on the per-op fast path.
+  std::atomic<FaultMode> mode_{FaultMode::kNone};
+  std::atomic<uint64_t> trigger_op_{0};
+  std::atomic<bool> permanent_{false};
+  std::atomic<bool> tripped_{false};  // torn-write latched?
+};
+
+}  // namespace tinprov::storage
+
+#endif  // TINPROV_STORAGE_FAULT_ENV_H_

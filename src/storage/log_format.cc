@@ -1,0 +1,61 @@
+#include "storage/log_format.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace tinprov::storage {
+
+namespace {
+
+constexpr char kSegmentPrefix[] = "seg-";
+constexpr char kSegmentSuffix[] = ".tin";
+constexpr char kSnapshotPrefix[] = "snap-";
+constexpr char kSnapshotSuffix[] = ".snap";
+
+bool ParseCounterName(const std::string& name, const char* prefix,
+                      const char* suffix, uint64_t* value) {
+  const size_t prefix_len = std::strlen(prefix);
+  const size_t suffix_len = std::strlen(suffix);
+  if (name.size() <= prefix_len + suffix_len) return false;
+  if (name.compare(0, prefix_len, prefix) != 0) return false;
+  if (name.compare(name.size() - suffix_len, suffix_len, suffix) != 0) {
+    return false;
+  }
+  const std::string digits =
+      name.substr(prefix_len, name.size() - prefix_len - suffix_len);
+  if (digits.empty()) return false;
+  uint64_t parsed = 0;
+  for (const char c : digits) {
+    if (c < '0' || c > '9') return false;
+    parsed = parsed * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *value = parsed;
+  return true;
+}
+
+}  // namespace
+
+std::string SegmentFileName(uint64_t seq) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%s%010llu%s", kSegmentPrefix,
+                static_cast<unsigned long long>(seq), kSegmentSuffix);
+  return buf;
+}
+
+std::string SnapshotFileName(uint64_t prefix) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%s%017llu%s", kSnapshotPrefix,
+                static_cast<unsigned long long>(prefix), kSnapshotSuffix);
+  return buf;
+}
+
+bool ParseSegmentFileName(const std::string& name, uint64_t* seq) {
+  return ParseCounterName(name, kSegmentPrefix, kSegmentSuffix, seq);
+}
+
+bool ParseSnapshotFileName(const std::string& name, uint64_t* prefix) {
+  return ParseCounterName(name, kSnapshotPrefix, kSnapshotSuffix, prefix);
+}
+
+}  // namespace tinprov::storage

@@ -31,7 +31,7 @@ Status StreamIngestor::IngestBatch(InteractionStream& stream, bool* done) {
   while (batch_.size() < options_.batch_size && stream.Next(&interaction)) {
     if (options_.enforce_time_order && interaction.t < pull_watermark_) {
       return Status::InvalidArgument(
-          "stream interaction " +
+          "stream batch " + std::to_string(stats_.batches) + " interaction " +
           std::to_string(stats_.interactions + batch_.size()) +
           " has timestamp " + std::to_string(interaction.t) +
           " below the watermark " + std::to_string(pull_watermark_) +
@@ -58,6 +58,18 @@ Status StreamIngestor::IngestBatch(InteractionStream& stream, bool* done) {
                     "ingest at interaction " +
                         std::to_string(stats_.interactions + i) + ": " +
                         status.message());
+    }
+  }
+  if (options_.sink != nullptr) {
+    // After the apply loop: the sink persists only what the tracker's
+    // state already reflects, so recovered state is always a replay of
+    // a durable prefix, never of an un-applied write-ahead.
+    const Status status = options_.sink->OnBatch(batch_.data(), batch_.size());
+    if (!status.ok()) {
+      return Status(status.code(),
+                    "batch sink at batch " + std::to_string(stats_.batches) +
+                        " (interaction " + std::to_string(stats_.interactions) +
+                        "): " + status.message());
     }
   }
   stats_.interactions += batch_.size();

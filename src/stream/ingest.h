@@ -31,6 +31,19 @@
 
 namespace tinprov {
 
+/// Receives every micro-batch after the tracker has applied it — the
+/// durability hook: the serve layer points this at its DurableLog so
+/// the on-disk log contains exactly the interactions the tracker's
+/// state reflects. A sink error stops the ingest (the storage layer's
+/// degrade-to-memory policy absorbs errors before they reach here when
+/// configured to).
+class BatchSink {
+ public:
+  virtual ~BatchSink() = default;
+
+  virtual Status OnBatch(const Interaction* batch, size_t count) = 0;
+};
+
 struct IngestOptions {
   /// Interactions pulled and applied per micro-batch. The batch buffer
   /// is the only stream-side allocation, so this bounds pipeline memory.
@@ -45,6 +58,9 @@ struct IngestOptions {
   /// up to the handoff watermark), so a stream rewound past the handoff
   /// cannot double-apply history.
   Timestamp initial_watermark = std::numeric_limits<Timestamp>::lowest();
+  /// Called with each batch once the tracker has applied it (borrowed;
+  /// null = no sink). See BatchSink.
+  BatchSink* sink = nullptr;
 };
 
 struct IngestStats {

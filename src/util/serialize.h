@@ -51,7 +51,11 @@ class ByteWriter {
 /// truncated or mismatched snapshots fail loudly.
 class ByteReader {
  public:
-  ByteReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+  /// A null `data` reads as empty whatever `size` claims, so callers
+  /// handing over a buffer they never filled get InvalidArgument from
+  /// the first Read instead of a null dereference.
+  ByteReader(const uint8_t* data, size_t size)
+      : data_(data), size_(data == nullptr ? 0 : size) {}
 
   size_t remaining() const { return size_ - pos_; }
 

@@ -20,6 +20,7 @@ enum class StatusCode {
   kResourceExhausted = 3,
   kNotFound = 4,
   kInternal = 5,
+  kUnavailable = 6,  // transient I/O failure — the storage layer's lane
 };
 
 /// Returns the canonical name of a status code ("OK", "INVALID_ARGUMENT", ...).
@@ -46,6 +47,9 @@ class Status {
   }
   static Status Internal(std::string message) {
     return Status(StatusCode::kInternal, std::move(message));
+  }
+  static Status Unavailable(std::string message) {
+    return Status(StatusCode::kUnavailable, std::move(message));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }
@@ -85,6 +89,8 @@ inline std::string_view StatusCodeName(StatusCode code) {
       return "NOT_FOUND";
     case StatusCode::kInternal:
       return "INTERNAL";
+    case StatusCode::kUnavailable:
+      return "UNAVAILABLE";
   }
   return "UNKNOWN";
 }

@@ -306,6 +306,18 @@ TEST(StreamIngestorTest, RejectsOutOfOrderInput) {
   ASSERT_FALSE(status.ok());
   EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
   EXPECT_NE(status.message().find("SortingStream"), std::string::npos);
+  // The diagnostic pinpoints the offense: which batch, and both the
+  // offending timestamp and the watermark it fell below. After the
+  // swap the stream runs 1,2,3,9,5,... — interaction t=5 violates
+  // watermark 9 inside the first batch.
+  EXPECT_NE(status.message().find("batch 0"), std::string::npos)
+      << status.message();
+  EXPECT_NE(status.message().find(std::to_string(Timestamp{5})),
+            std::string::npos)
+      << status.message();
+  EXPECT_NE(status.message().find(std::to_string(Timestamp{9})),
+            std::string::npos)
+      << status.message();
 }
 
 TEST(StreamIngestorTest, SortingStreamRepairsDisorderedIngest) {
