@@ -6,14 +6,18 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <string>
 #include <vector>
 
+#include "bench_util.h"
 #include "core/buffer.h"
 #include "obs/metrics.h"
 #include "obs/recorder.h"
 #include "policies/proportional_sparse.h"
+#include "util/cpu.h"
 #include "util/random.h"
 #include "util/simd.h"
+#include "util/simd_dispatch.h"
 #include "util/stopwatch.h"
 
 namespace tinprov {
@@ -107,6 +111,49 @@ void BM_SparseMerge(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * len * 2);
 }
 BENCHMARK(BM_SparseMerge)->Range(16, 65536);
+
+// The same gallop merge pinned to one dispatch table, registered in
+// main() once per level the host can execute ("BM_SparseMergeDispatch/
+// scalar" etc.). These rows extend the >= 2x-the-reference acceptance
+// gate to every dispatch level (scripts/merge_gate.py checks the
+// recorded JSON), and the scalar row doubles as the portable-path
+// floor the runtime dispatch must beat.
+std::vector<simd::PairLane> MakePairLanes(size_t len, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<simd::PairLane> v(len);
+  uint32_t origin = 0;
+  for (size_t i = 0; i < len; ++i) {
+    origin += static_cast<uint32_t>(1 + rng.NextBounded(5));
+    v[i] = {origin, 0, rng.NextDouble() + 0.1};
+  }
+  return v;
+}
+
+void BM_SparseMergeDispatch(benchmark::State& state, cpu::SimdLevel level) {
+  const size_t len = static_cast<size_t>(state.range(0));
+  const std::vector<simd::PairLane> a = MakePairLanes(len, 3);
+  const std::vector<simd::PairLane> b = MakePairLanes(len, 2);
+  std::vector<simd::PairLane> out(2 * len);
+  const simd::KernelTable& kernels = simd::KernelsFor(level);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kernels.gallop_merge_scaled(
+        out.data(), a.data(), len, b.data(), len, 0.5));
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * len * 2);
+}
+
+void RegisterDispatchBenchmarks() {
+  for (const cpu::SimdLevel level :
+       {cpu::SimdLevel::kScalar, cpu::SimdLevel::kSse2,
+        cpu::SimdLevel::kAvx2}) {
+    if (level > cpu::DetectSimdLevel()) continue;  // table would fault
+    const std::string name =
+        std::string("BM_SparseMergeDispatch/") + cpu::SimdLevelName(level);
+    benchmark::RegisterBenchmark(name.c_str(), BM_SparseMergeDispatch, level)
+        ->Range(16, 65536);
+  }
+}
 
 // Skewed shape: a short update list merging into a long accumulated
 // one — the steady state of replay on a hub vertex. Galloping skips
@@ -294,6 +341,17 @@ void ReportMetricsOverhead() {
 int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  // Host-shape context for bench_compare.py: which kernel table this
+  // run dispatched to, and the host ceiling it was clamped from.
+  benchmark::AddCustomContext(
+      "simd", tinprov::cpu::SimdLevelName(tinprov::cpu::ActiveSimdLevel()));
+  benchmark::AddCustomContext(
+      "simd_detected",
+      tinprov::cpu::SimdLevelName(tinprov::cpu::DetectSimdLevel()));
+  benchmark::AddCustomContext("tinprov_native",
+                              tinprov::bench::kNativeBuild ? "true" : "false");
+  benchmark::AddCustomContext("compiler", tinprov::bench::CompilerVersion());
+  tinprov::RegisterDispatchBenchmarks();
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   tinprov::ReportMetricsOverhead();

@@ -20,6 +20,7 @@
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "analytics/experiment.h"
@@ -131,6 +132,11 @@ int main() {
          FormatBytes(ingest.peak_batch * sizeof(Interaction)),
          FormatBytes(streaming->peak_memory),
          std::to_string(ingest.batches) + " batches, watermark-checked"});
+    // Annotate rows whose worker count exceeds the machine width — on
+    // a small host they measure scheduling, not parallel speedup.
+    const unsigned hw = std::thread::hardware_concurrency();
+    const bool oversubscribed =
+        hw != 0 && sharded->num_threads > static_cast<size_t>(hw);
     table.AddRow(
         {"streaming+sharded", FormatSeconds(sharded->replay_seconds),
          FormatCompact(rate_base / std::max(sharded->replay_seconds, 1e-12),
@@ -140,7 +146,8 @@ int main() {
          FormatBytes(sharded->num_entries * sizeof(ProvPair)),
          sharded->used_parallel_path
              ? std::to_string(sharded->num_shards) + " shards / " +
-                   std::to_string(sharded->num_threads) + " threads"
+                   std::to_string(sharded->num_threads) + " threads" +
+                   (oversubscribed ? " (oversubscribed)" : "")
              : "sequential fallback (1 worker)"});
     std::printf("%s", table.ToString().c_str());
 

@@ -21,6 +21,7 @@
 
 #include "datagen/presets.h"
 #include "obs/export.h"
+#include "util/cpu.h"
 #include "util/status.h"
 
 namespace tinprov::bench {
@@ -129,6 +130,7 @@ class JsonBenchReporter {
                  "    \"executable\": \"%s\",\n"
                  "    \"num_cpus\": %u,\n"
                  "    \"tinprov_native\": %s,\n"
+                 "    \"simd\": \"%s\",\n"
                  "    \"compiler\": \"%s\",\n"
                  "    \"tinprov_scale\": %g\n"
                  "  },\n"
@@ -136,6 +138,7 @@ class JsonBenchReporter {
                  date, Escaped(executable_).c_str(),
                  std::thread::hardware_concurrency(),
                  kNativeBuild ? "true" : "false",
+                 cpu::SimdLevelName(cpu::ActiveSimdLevel()),
                  Escaped(CompilerVersion()).c_str(), GetScale());
     for (size_t i = 0; i < entries_.size(); ++i) {
       const Entry& e = entries_[i];

@@ -8,11 +8,13 @@ JsonBenchReporter emit the same shape: {"context": ..., "benchmarks":
 than the threshold (default 25%).
 
 Files whose recorded host shape (context num_cpus / tinprov_native /
-compiler) differs between baseline and current are skipped with a
-warning: a baseline recorded on a 1-CPU box would otherwise read as a
-sharding regression on any wider machine, and native-vs-portable or
-cross-compiler codegen differences are not regressions either. Old
-baselines without those context fields compare as before.
+simd / compiler) differs between baseline and current are skipped with
+a warning: a baseline recorded on a 1-CPU box would otherwise read as a
+sharding regression on any wider machine, a scalar-dispatch baseline
+would read as a vectorization miracle on an AVX2 host, and
+native-vs-portable or cross-compiler codegen differences are not
+regressions either. Old baselines without those context fields compare
+as before.
 
 Usage: bench_compare.py BASELINE_DIR CURRENT_DIR [--threshold 0.25]
                         [--fail-on-regress]
@@ -33,7 +35,7 @@ TIME_UNITS = {"ns": 1e-9, "us": 1e-6, "ms": 1e-3, "s": 1.0}
 
 # Context fields that define the host shape; a mismatch in any of them
 # (when both sides recorded the field) makes timings incomparable.
-HOST_SHAPE_FIELDS = ("num_cpus", "tinprov_native", "compiler")
+HOST_SHAPE_FIELDS = ("num_cpus", "tinprov_native", "simd", "compiler")
 
 
 def host_shape_mismatch(baseline_context, current_context):

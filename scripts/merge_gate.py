@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Gallop-merge baseline gate over a recorded BENCH_micro.json.
+
+The original gate required the production merge (BM_SparseMerge) to
+beat the pre-optimization reference merge (BM_SparseMergeReference) at
+every committed size. bench_micro now also registers the merge pinned
+to each dispatch level the host can execute (BM_SparseMergeDispatch/
+scalar|sse2|avx2), and this script extends the same bar to every one
+of those series — so a per-ISA kernel regression (say, the SSE2 lanes
+taking a denormal-assist penalty) fails the gate even when the
+default-dispatch numbers still look fine.
+
+Default bar: 1.0x — no series may lose to the reference merge. That
+is far enough below the healthy ~2x margin to stay robust on noisy CI
+runners. The ISSUE-10 acceptance experiment (default dispatch >= 2x
+the reference) is a stricter local run: --min-ratio 2.0 --series
+default.
+
+Usage: merge_gate.py BENCH_micro.json [--min-ratio 1.0]
+                     [--series default,scalar,sse2,avx2] [--warn-only]
+
+Exits 1 on a violated bar unless --warn-only. Standard library only.
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+LEVELS = ("scalar", "sse2", "avx2")
+
+
+def load_rates(path):
+    """Returns {name: items_per_second} for iteration rows."""
+    with open(path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    rates = {}
+    for bench in data.get("benchmarks", []):
+        if bench.get("run_type", "iteration") != "iteration":
+            continue
+        name = bench.get("name")
+        rate = bench.get("items_per_second")
+        if name and rate:
+            rates[name] = rate
+    return rates
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("report", type=pathlib.Path)
+    parser.add_argument("--min-ratio", type=float, default=1.0,
+                        help="required series/reference rate ratio "
+                             "(default 1.0: never lose to the reference)")
+    parser.add_argument("--series", default="",
+                        help="comma-separated subset of "
+                             "default,scalar,sse2,avx2 to check; "
+                             "default: every series present in the file")
+    parser.add_argument("--warn-only", action="store_true",
+                        help="report violations but exit 0")
+    args = parser.parse_args()
+
+    rates = load_rates(args.report)
+    reference = {}
+    series = {}  # "default" or level name -> {size: rate}
+    for name, rate in rates.items():
+        parts = name.split("/")
+        if parts[0] == "BM_SparseMergeReference" and len(parts) == 2:
+            reference[parts[1]] = rate
+        elif parts[0] == "BM_SparseMerge" and len(parts) == 2:
+            series.setdefault("default", {})[parts[1]] = rate
+        elif (parts[0] == "BM_SparseMergeDispatch" and len(parts) == 3
+              and parts[1] in LEVELS):
+            series.setdefault(parts[1], {})[parts[2]] = rate
+
+    if not reference or not series:
+        print(f"merge_gate: {args.report} lacks the merge series "
+              f"(reference sizes: {len(reference)}, series: "
+              f"{sorted(series)}) — nothing to gate")
+        return 0
+
+    wanted = [s.strip() for s in args.series.split(",") if s.strip()]
+    names = [s for s in ("default",) + LEVELS
+             if s in series and (not wanted or s in wanted)]
+    missing = [s for s in wanted if s not in series]
+    if missing:
+        print(f"merge_gate: requested series absent from the report: "
+              f"{','.join(missing)}")
+        return 0 if args.warn_only else 1
+
+    failures = 0
+    checked = 0
+    for name in names:
+        for size, rate in sorted(series[name].items(),
+                                 key=lambda kv: int(kv[0])):
+            base = reference.get(size)
+            if base is None or base <= 0.0:
+                continue
+            checked += 1
+            ratio = rate / base
+            if ratio < args.min_ratio:
+                failures += 1
+            print(f"  {'ok' if ratio >= args.min_ratio else 'FAIL'}: "
+                  f"{name}/{size}  {ratio:.2f}x reference "
+                  f"(bar {args.min_ratio:.1f}x)")
+    print(f"merge_gate: {checked} series/size points checked against "
+          f"BM_SparseMergeReference, {failures} below the bar")
+    if failures and not args.warn_only:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

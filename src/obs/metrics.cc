@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/cpu.h"
+
 namespace tinprov::obs {
 
 uint64_t Histogram::Count() const {
@@ -82,7 +84,15 @@ MetricsRegistry& MetricsRegistry::Global() {
   // Deliberately leaked: instrumentation sites cache raw pointers and
   // may fire from static destructors, so the registry must outlive
   // everything.
-  static MetricsRegistry* const registry = new MetricsRegistry();
+  static MetricsRegistry* const registry = [] {
+    auto* r = new MetricsRegistry();
+    // The dispatch level is fixed for the process lifetime (util/cpu.h),
+    // so publish it once: every exporter, /statusz, and recorded bench
+    // JSON then carries which kernel table this run actually used.
+    r->GetGauge("cpu.simd_level")
+        ->Set(static_cast<double>(cpu::ActiveSimdLevel()));
+    return r;
+  }();
   return *registry;
 }
 

@@ -9,6 +9,7 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "parallel/scheduler.h"
 #include "stream/ingest.h"
 #include "stream/interaction_stream.h"
 #include "util/stopwatch.h"
@@ -17,50 +18,11 @@
 #include <condition_variable>
 #include <deque>
 #include <mutex>
-#include <thread>
 #endif
 
 namespace tinprov {
 
 namespace {
-
-size_t HardwareThreads() {
-#if defined(TINPROV_NO_THREADS)
-  return 1;
-#else
-  const unsigned n = std::thread::hardware_concurrency();
-  return n == 0 ? 1 : static_cast<size_t>(n);
-#endif
-}
-
-/// Runs `task(index)` for every index in [0, count) on up to
-/// `num_threads` workers. Indices are claimed from a shared atomic
-/// counter, so a slow task never blocks the remaining ones behind a
-/// fixed pre-assignment (shard-granularity work stealing). The calling
-/// thread is worker 0. `task` must not throw.
-template <typename Task>
-void RunSelfScheduled(size_t count, size_t num_threads, const Task& task) {
-  if (count == 0) return;
-  std::atomic<size_t> next{0};
-  const auto worker = [&next, count, &task] {
-    for (;;) {
-      const size_t index = next.fetch_add(1, std::memory_order_relaxed);
-      if (index >= count) return;
-      task(index);
-    }
-  };
-#if !defined(TINPROV_NO_THREADS)
-  const size_t spawned = std::min(num_threads, count) - 1;
-  std::vector<std::thread> threads;
-  threads.reserve(spawned);
-  for (size_t t = 0; t < spawned; ++t) threads.emplace_back(worker);
-  worker();
-  for (std::thread& thread : threads) thread.join();
-#else
-  (void)num_threads;
-  worker();
-#endif
-}
 
 /// The deterministic single-vertex exchange: interleaves v's disjoint
 /// shard slices into one label-sorted list by repeated min-head
@@ -291,7 +253,8 @@ StatusOr<ShardedReplayEngine::ShardRun> ShardedReplayEngine::RunShards(
   run.seconds.assign(num_shards, 0.0);
   std::vector<Status> statuses(num_shards, Status::Ok());
   const auto& log = tin_->interactions();
-  RunSelfScheduled(num_shards, threads, [&](size_t s) {
+  WorkStealingScheduler scheduler(threads);
+  scheduler.ParallelFor(num_shards, [&](size_t s) {
     obs::TraceSpan span("replay.shard", "parallel");
     TINPROV_SCOPED_COUNTER_NS("parallel.shard_busy_ns");
     Stopwatch watch;
@@ -476,11 +439,12 @@ StatusOr<ShardedReplayEngine::ShardRun> ShardedReplayEngine::RunShardsStream(
         }
       }
     };
-    std::vector<std::thread> workers;
-    workers.reserve(num_workers);
+    std::vector<std::function<void()>> worker_tasks;
+    worker_tasks.reserve(num_workers);
     for (size_t w = 0; w < num_workers; ++w) {
-      workers.emplace_back(worker_main, w);
+      worker_tasks.emplace_back([&worker_main, w] { worker_main(w); });
     }
+    ResidentPool workers(std::move(worker_tasks));
 
     Status producer_status = Status::Ok();
     std::vector<Interaction> scratch;
@@ -519,7 +483,7 @@ StatusOr<ShardedReplayEngine::ShardRun> ShardedReplayEngine::RunShardsStream(
       done = true;
     }
     consumer_cv.notify_all();
-    for (std::thread& worker : workers) worker.join();
+    workers.Join();
     if (!producer_status.ok()) return producer_status;
     for (const Status& status : worker_status) {
       if (!status.ok()) return status;
@@ -575,12 +539,15 @@ ShardedReplayResult ShardedReplayEngine::AssembleResult(
   // Phase 2 (exchange): interleave the shards' disjoint label slices
   // back into full per-vertex lists. Pure data movement ordered by
   // label id — deterministic and free of floating-point arithmetic —
-  // parallelized over vertex blocks on the same worker pool.
+  // parallelized over vertex blocks on the work-stealing scheduler
+  // (blocks vary wildly in list volume, which is exactly the skew
+  // stealing exists for).
   obs::TraceSpan exchange_span("replay.exchange", "parallel");
   TINPROV_SCOPED_LATENCY_NS("parallel.exchange_ns");
   constexpr size_t kBlock = 1024;
   const size_t num_blocks = (n + kBlock - 1) / kBlock;
-  RunSelfScheduled(num_blocks, threads, [&](size_t block) {
+  WorkStealingScheduler scheduler(threads);
+  scheduler.ParallelFor(num_blocks, [&](size_t block) {
     std::vector<size_t> cursor(shards);
     const VertexId begin = static_cast<VertexId>(block * kBlock);
     const VertexId end =

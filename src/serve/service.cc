@@ -13,6 +13,9 @@
 #include "obs/recorder.h"
 #include "obs/slowlog.h"
 #include "obs/trace.h"
+#include "parallel/scheduler.h"
+#include "parallel/sharded_ingest.h"
+#include "util/cpu.h"
 
 namespace tinprov {
 
@@ -202,7 +205,7 @@ ProvenanceService::CreateWithHistory(
     handoff_state = &handoff;
   }
   std::unique_ptr<ProvenanceService> service(new ProvenanceService(
-      *std::move(factory), stats, options, std::move(history)));
+      *std::move(factory), spec, stats, options, std::move(history)));
   service->durable_ = std::move(durable);
   service->durable_base_ = durable_base;
   const Status status = service->Init(handoff_state);
@@ -211,15 +214,17 @@ ProvenanceService::CreateWithHistory(
 }
 
 ProvenanceService::ProvenanceService(
-    TrackerFactory factory, const DatasetStats& stats,
+    TrackerFactory factory, TrackerSpec spec, const DatasetStats& stats,
     const ServeOptions& options, std::shared_ptr<const TimeTravelIndex> history)
     : factory_(std::move(factory)),
+      tracker_spec_(std::move(spec)),
       stats_(stats),
       options_(options),
       history_(std::move(history)),
       history_watermark_(history_ != nullptr
                              ? history_->watermark()
-                             : std::numeric_limits<Timestamp>::lowest()) {
+                             : std::numeric_limits<Timestamp>::lowest()),
+      resume_watermark_(history_watermark_) {
   if (options_.epoch_interval == 0) options_.epoch_interval = 1;
   if (options_.ring_size == 0) options_.ring_size = 1;
   if (options_.ingest_batch == 0) options_.ingest_batch = 1;
@@ -391,7 +396,7 @@ Status ProvenanceService::RunIngest() {
   IngestOptions ingest_options;
   ingest_options.batch_size = std::min(options_.ingest_batch,
                                        options_.epoch_interval);
-  ingest_options.initial_watermark = history_watermark_;
+  ingest_options.initial_watermark = resume_watermark_;
   if (durable_ != nullptr) ingest_options.sink = &durable_sink;
   StreamIngestor ingestor(live_tracker_.get(), ingest_options);
 
@@ -406,8 +411,8 @@ Status ProvenanceService::RunIngest() {
     const IngestStats& stats = ingestor.stats();
     if (stats.interactions - last_published >= options_.epoch_interval) {
       last_published = stats.interactions;
-      status = PublishEpoch(stats.interactions,
-                            std::max(stats.watermark, history_watermark_));
+      status = PublishEpoch(prefix_base_ + stats.interactions,
+                            std::max(stats.watermark, resume_watermark_));
       if (!status.ok()) {
         final_ingest_stats_ = stats;
         return status;
@@ -418,8 +423,8 @@ Status ProvenanceService::RunIngest() {
   if (final_ingest_stats_.interactions != last_published) {
     // Final epoch: every applied interaction visible to readers.
     const Status status = PublishEpoch(
-        final_ingest_stats_.interactions,
-        std::max(final_ingest_stats_.watermark, history_watermark_));
+        prefix_base_ + final_ingest_stats_.interactions,
+        std::max(final_ingest_stats_.watermark, resume_watermark_));
     if (!status.ok()) return status;
   }
   if (durable_ != nullptr) {
@@ -429,6 +434,55 @@ Status ProvenanceService::RunIngest() {
     if (!status.ok()) return status;
   }
   return Status::Ok();
+}
+
+Status ProvenanceService::Catchup(std::unique_ptr<InteractionStream> stream) {
+  if (stream == nullptr) {
+    return Status::InvalidArgument("null catchup stream");
+  }
+  if (started_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("catchup must run before Start()");
+  }
+  if (caught_up_) {
+    return Status::FailedPrecondition("service already caught up");
+  }
+  if (durable_ != nullptr) {
+    return Status::FailedPrecondition(
+        "catchup bypasses the durable log — run it with durability off and "
+        "seed the directory separately");
+  }
+  if (history_ != nullptr) {
+    return Status::FailedPrecondition(
+        "catchup starts from empty state; a handoff index already carries "
+        "the history");
+  }
+  obs::TraceSpan span("serve.catchup", "serve");
+
+  auto sharded = TrackerRegistry::Global().Sharded(tracker_spec_, stats_);
+  if (!sharded.ok()) return sharded.status();
+  IngestOptions ingest_options;
+  ingest_options.batch_size =
+      std::min(options_.ingest_batch, options_.epoch_interval);
+  ShardedIngestEngine engine(stats_, *std::move(sharded), options_.catchup,
+                             ingest_options);
+  // The tee keeps the retained log covering the catchup range, so
+  // historical delta replays work across it; the engine's producer runs
+  // on this thread, which owns the writer-side state until Start().
+  LogSink sink(this, stream.get());
+  auto result = engine.IngestStream(sink);
+  if (!result.ok()) return result.status();
+
+  live_tracker_ = std::move(result->tracker);
+  catchup_stats_ = result->stats;
+  caught_up_ = true;
+  prefix_base_ = catchup_stats_.interactions;
+  resume_watermark_ = std::max(resume_watermark_, catchup_stats_.watermark);
+  TINPROV_COUNTER_ADD("serve.catchup_interactions",
+                      catchup_stats_.interactions);
+  TINPROV_GAUGE_SET("serve.catchup_shards", result->num_shards);
+  // Readers see the caught-up state the moment this returns.
+  return PublishEpoch(prefix_base_,
+                      std::max(catchup_stats_.watermark, history_watermark_));
 }
 
 Status ProvenanceService::Start(std::unique_ptr<InteractionStream> stream) {
@@ -679,6 +733,19 @@ std::string ProvenanceService::StatuszJson() const {
                                         ? ops_recorder_->Rate("serve.queries")
                                         : 0.0);
   out += ",\"slow_recorded\":" + std::to_string(slow.recorded());
+  // The runtime block: which kernel table this process dispatches to
+  // (fixed at startup; see util/cpu.h) and the scheduler's shape.
+  out += "},\"runtime\":{\"simd\":\"";
+  out += cpu::SimdLevelName(cpu::ActiveSimdLevel());
+  out += "\",\"simd_detected\":\"";
+  out += cpu::SimdLevelName(cpu::DetectSimdLevel());
+  out += "\",\"avx512\":";
+  out += cpu::DetectAvx512() ? "true" : "false";
+  out += ",\"num_threads\":" + std::to_string(HardwareThreads());
+  out += ",\"parallel_tasks\":" +
+         std::to_string(registry.GetCounter("parallel.tasks")->Value());
+  out += ",\"parallel_steals\":" +
+         std::to_string(registry.GetCounter("parallel.steals")->Value());
   out += "},\"memory\":{\"total_bytes\":" + JsonDouble(registry.MemoryBytes());
   for (const auto& [name, value] : registry.GaugeValues()) {
     if (name.rfind("memory.", 0) != 0) continue;

@@ -60,6 +60,7 @@
 #include "core/tin.h"
 #include "core/types.h"
 #include "lazy/time_travel.h"
+#include "parallel/sharded_replay.h"
 #include "serve/request_queue.h"
 #include "storage/durable_log.h"
 #include "storage/recovery.h"
@@ -132,6 +133,12 @@ struct ServeOptions {
   /// direct query methods never use the pool either way.
   size_t num_query_threads = 0;
 
+  /// Shard/thread layout for Catchup()'s vertex-sharded bulk ingest
+  /// (parallel/sharded_ingest.h). Defaults shard one-per-hardware-
+  /// thread; the spec decides whether sharding is sound, so a
+  /// non-decomposable tracker silently takes the sequential path.
+  ParallelParams catchup;
+
   // --- Ops plane (EnableOpsServer / the slow-query log) ------------------
 
   /// Execute()/Submit() queries slower than this land in the
@@ -184,6 +191,23 @@ class ProvenanceService {
   ProvenanceService& operator=(const ProvenanceService&) = delete;
 
   // --- Writer side -------------------------------------------------------
+
+  /// Bulk-loads historical data before serving begins: drains `stream`
+  /// (owned) through the vertex-sharded parallel ingest engine on the
+  /// calling thread, installs the resulting tracker — bit-identical to
+  /// a sequential ingest of the same stream — as the live tracker, and
+  /// publishes it as an epoch. Start() then continues with the live
+  /// tail from the catchup watermark. Must run before Start(), at most
+  /// once, from empty state (no handoff index) and with durability off
+  /// (the catchup batches would bypass the durable log). With history
+  /// retention on, the catchup interactions land in the retained log,
+  /// so Provenance(v, t) works across the catchup range exactly as if
+  /// the writer had ingested it.
+  Status Catchup(std::unique_ptr<InteractionStream> stream);
+
+  /// Catchup accounting (parallel or fallback path). Valid after a
+  /// successful Catchup().
+  const IngestStats& catchup_stats() const { return catchup_stats_; }
 
   /// Starts the writer thread ingesting `stream` (owned). One ingest per
   /// service. In TINPROV_NO_THREADS builds the whole ingest runs
@@ -265,8 +289,8 @@ class ProvenanceService {
  private:
   struct EpochView;  // service.cc: the immutable published state
 
-  ProvenanceService(TrackerFactory factory, const DatasetStats& stats,
-                    const ServeOptions& options,
+  ProvenanceService(TrackerFactory factory, TrackerSpec spec,
+                    const DatasetStats& stats, const ServeOptions& options,
                     std::shared_ptr<const TimeTravelIndex> history);
 
   /// Builds and publishes epoch 0 (initial or handoff state).
@@ -293,10 +317,14 @@ class ProvenanceService {
   QueryResult Dispatch(const QueryRequest& request) const;
 
   TrackerFactory factory_;
+  TrackerSpec tracker_spec_;  // for Catchup()'s ShardedSpec lookup
   DatasetStats stats_;
   ServeOptions options_;
   std::shared_ptr<const TimeTravelIndex> history_;
   Timestamp history_watermark_;  // meaningful iff history_ != nullptr
+  /// Watermark the live ingest must resume at or above: the handoff
+  /// watermark, raised by Catchup() to the catchup watermark.
+  Timestamp resume_watermark_;
 
   // Writer-owned after Start() (and during Init).
   std::unique_ptr<Tracker> live_tracker_;
@@ -311,6 +339,10 @@ class ProvenanceService {
   class LogSink;  // service.cc: tee stream appending into the chunked log
   std::vector<std::shared_ptr<std::vector<Interaction>>> chunks_;
   size_t log_size_ = 0;
+  /// Interactions applied before the writer's own ingest begins —
+  /// Catchup()'s count. Epoch prefixes offset by it so they keep
+  /// indexing the full retained log.
+  size_t prefix_base_ = 0;
   size_t snapshot_bytes_ = 0;  // running total of retained byte images
   uint64_t next_seq_ = 0;
   Stopwatch since_publish_;  // serve.epoch_age_ns at publish time
@@ -321,8 +353,10 @@ class ProvenanceService {
   std::atomic<bool> started_{false};
   std::atomic<bool> ingest_done_{false};
   bool ingest_joined_ = false;
+  bool caught_up_ = false;
   Status ingest_status_;
   IngestStats final_ingest_stats_;
+  IngestStats catchup_stats_;
 #if !defined(TINPROV_NO_THREADS)
   std::thread writer_;
 #endif

@@ -2,19 +2,29 @@
 // buffers, plus the sparse gallop-merge kernel behind the pro-rata
 // transfer (the repo's hottest loop).
 //
-// The scalar loops below are written so the compiler can auto-vectorize
-// them at -O2/-O3; explicit AVX2 paths are provided when the translation
-// unit is compiled with AVX2 enabled (configure with -DTINPROV_NATIVE=ON
-// to opt in; the default build stays portable). All functions tolerate
-// n == 0 and require dst/src to be non-overlapping unless noted.
+// Every kernel here is runtime-dispatched: the bodies are compiled as
+// scalar, SSE2, and AVX2 variants in per-ISA translation units (see
+// util/simd_kernels.inc and util/simd_dispatch.h), the right table is
+// picked once per process via CPUID (`TINPROV_SIMD=scalar|sse2|avx2`
+// overrides it for testing), and each wrapper below latches the table
+// in a function-local static — steady state is one indirect call, and
+// a single portable binary runs the AVX2 lanes wherever the host
+// supports them. TINPROV_NATIVE is no longer what turns vector lanes
+// on; it only lets the compiler additionally vectorize *non-kernel*
+// code with -march=native.
 //
-// Bit-exactness contract: parallel sharded replay (src/parallel/) must
-// reproduce sequential results bit-for-bit, and a shard sees a subset
-// of each list. Every per-element value here is therefore produced by
-// an arithmetic expression that does not depend on its neighbours —
-// single multiplies in the vector lanes, and the one fused-looking
-// accumulate (a + b * f) kept in exactly one scalar expression — so the
-// scalar/vector split can differ between runs without changing results.
+// Bit-exactness contract: parallel sharded replay and sharded ingest
+// (src/parallel/) must reproduce sequential results bit-for-bit, and a
+// shard sees a subset of each list. Every per-element value here is
+// therefore produced by an arithmetic expression that does not depend
+// on its neighbours — single multiplies in the vector lanes, and the
+// one fused-looking accumulate (a + b * f) kept as an unfused mul+add
+// at every level (the per-ISA TUs build with -ffp-contract=off) — so
+// the scalar/vector split, and the dispatch level itself, can differ
+// between runs without changing results. Sum() is the documented
+// exception: a reduction reassociates per lane width and is never used
+// where tracker state depends on it. All functions tolerate n == 0 and
+// require dst/src to be non-overlapping unless noted.
 #ifndef TINPROV_UTIL_SIMD_H_
 #define TINPROV_UTIL_SIMD_H_
 
@@ -22,35 +32,20 @@
 #include <cstdint>
 #include <cstring>
 
-#if defined(__AVX2__)
-#include <immintrin.h>
-#endif
+#include "util/simd_dispatch.h"
 
 namespace tinprov::simd {
 
 /// dst[i] += src[i].
 inline void Add(double* dst, const double* src, size_t n) {
-  size_t i = 0;
-#if defined(__AVX2__)
-  for (; i + 4 <= n; i += 4) {
-    const __m256d d = _mm256_loadu_pd(dst + i);
-    const __m256d s = _mm256_loadu_pd(src + i);
-    _mm256_storeu_pd(dst + i, _mm256_add_pd(d, s));
-  }
-#endif
-  for (; i < n; ++i) dst[i] += src[i];
+  static const KernelTable& k = ActiveKernels();
+  k.add(dst, src, n);
 }
 
 /// dst[i] *= factor.
 inline void Scale(double* dst, double factor, size_t n) {
-  size_t i = 0;
-#if defined(__AVX2__)
-  const __m256d f = _mm256_set1_pd(factor);
-  for (; i + 4 <= n; i += 4) {
-    _mm256_storeu_pd(dst + i, _mm256_mul_pd(_mm256_loadu_pd(dst + i), f));
-  }
-#endif
-  for (; i < n; ++i) dst[i] *= factor;
+  static const KernelTable& k = ActiveKernels();
+  k.scale(dst, factor, n);
 }
 
 /// Moves a fraction of src into dst, elementwise:
@@ -59,105 +54,32 @@ inline void Scale(double* dst, double factor, size_t n) {
 /// provenance vectors. src is mutated; dst and src must not alias.
 inline void TransferFraction(double* dst, double* src, double fraction,
                              size_t n) {
-  const double keep = 1.0 - fraction;
-  size_t i = 0;
-#if defined(__AVX2__)
-  const __m256d f = _mm256_set1_pd(fraction);
-  const __m256d k = _mm256_set1_pd(keep);
-  for (; i + 4 <= n; i += 4) {
-    const __m256d s = _mm256_loadu_pd(src + i);
-    const __m256d d = _mm256_loadu_pd(dst + i);
-    _mm256_storeu_pd(dst + i, _mm256_fmadd_pd(f, s, d));
-    _mm256_storeu_pd(src + i, _mm256_mul_pd(s, k));
-  }
-#endif
-  for (; i < n; ++i) {
-    dst[i] += fraction * src[i];
-    src[i] *= keep;
-  }
+  static const KernelTable& k = ActiveKernels();
+  k.transfer_fraction(dst, src, fraction, n);
 }
 
-/// Returns sum(src[0..n)).
+/// Returns sum(src[0..n)). The one kernel whose result may differ by
+/// rounding between dispatch levels (lane accumulators reassociate);
+/// used for reports and sanity checks, never for tracker state.
 inline double Sum(const double* src, size_t n) {
-  double total = 0.0;
-  size_t i = 0;
-#if defined(__AVX2__)
-  __m256d acc = _mm256_setzero_pd();
-  for (; i + 4 <= n; i += 4) {
-    acc = _mm256_add_pd(acc, _mm256_loadu_pd(src + i));
-  }
-  alignas(32) double lanes[4];
-  _mm256_store_pd(lanes, acc);
-  total = lanes[0] + lanes[1] + lanes[2] + lanes[3];
-#endif
-  for (; i < n; ++i) total += src[i];
-  return total;
+  static const KernelTable& k = ActiveKernels();
+  return k.sum(src, n);
 }
 
 // ---------------------------------------------------------------------
 // Sparse (origin, quantity)-pair kernels. `Pair` is any standard-layout
 // struct with a 32-bit integral `origin` followed by a double `quantity`
-// (tinprov's ProvPair; duck-typed here so util/ stays below core/). The
-// AVX2 lanes additionally require the exact 16-byte {origin, pad,
-// quantity} layout and engage only when it holds.
+// (tinprov's ProvPair; duck-typed here so util/ stays below core/).
+// Types matching the exact 16-byte {origin, pad, quantity} layout are
+// reinterpreted into the dispatch table's PairLane and take the
+// runtime-selected lanes; anything else falls back to the inline
+// scalar templates below.
 
 namespace internal {
 
 template <typename Pair>
 inline constexpr bool kHasSimdPairLayout =
     sizeof(Pair) == 16 && alignof(Pair) == 8;
-
-}  // namespace internal
-
-/// out[i] = {in[i].origin, in[i].quantity * factor} for i in [0, n).
-/// Origins (and their padding bytes, on the AVX2 path) are copied
-/// bit-exactly; out and in must not overlap.
-template <typename Pair>
-inline void ScaleCopyPairs(Pair* out, const Pair* in, double factor,
-                           size_t n) {
-  size_t i = 0;
-#if defined(__AVX2__)
-  if constexpr (internal::kHasSimdPairLayout<Pair>) {
-    // Memory as doubles: [hdr0, q0, hdr1, q1]. Multiply everything,
-    // then blend the scaled quantity lanes (1, 3) over the original
-    // header lanes (0, 2) so origin bits are never touched by
-    // arithmetic. Multiplying the header lane interpreted as a double
-    // is dead computation whose result is discarded by the blend.
-    const __m256d f = _mm256_set1_pd(factor);
-    for (; i + 2 <= n; i += 2) {
-      const __m256d v =
-          _mm256_loadu_pd(reinterpret_cast<const double*>(in + i));
-      const __m256d scaled = _mm256_mul_pd(v, f);
-      _mm256_storeu_pd(reinterpret_cast<double*>(out + i),
-                       _mm256_blend_pd(v, scaled, 0b1010));
-    }
-  }
-#endif
-  for (; i < n; ++i) {
-    out[i].origin = in[i].origin;
-    out[i].quantity = in[i].quantity * factor;
-  }
-}
-
-/// p[i].quantity *= factor in place — the "source keeps (1 - f)" pass
-/// of a pro-rata transfer.
-template <typename Pair>
-inline void ScalePairsInPlace(Pair* p, double factor, size_t n) {
-  size_t i = 0;
-#if defined(__AVX2__)
-  if constexpr (internal::kHasSimdPairLayout<Pair>) {
-    const __m256d f = _mm256_set1_pd(factor);
-    for (; i + 2 <= n; i += 2) {
-      double* mem = reinterpret_cast<double*>(p + i);
-      const __m256d v = _mm256_loadu_pd(mem);
-      _mm256_storeu_pd(mem, _mm256_blend_pd(v, _mm256_mul_pd(v, f), 0b1010));
-    }
-  }
-#endif
-  for (; i < n; ++i) p[i].quantity *= factor;
-}
-
-namespace internal {
 
 /// First index in [1, n] at which p[index].origin >= key, found by
 /// exponential probing then binary search. Preconditions: n >= 1 and
@@ -185,17 +107,56 @@ inline size_t GallopRun(const Pair* p, size_t n, uint32_t key) {
 
 }  // namespace internal
 
+/// out[i] = {in[i].origin, in[i].quantity * factor} for i in [0, n).
+/// Origins (and their padding bytes) are copied bit-exactly; out and in
+/// must not overlap.
+template <typename Pair>
+inline void ScaleCopyPairs(Pair* out, const Pair* in, double factor,
+                           size_t n) {
+  if constexpr (internal::kHasSimdPairLayout<Pair>) {
+    static const KernelTable& k = ActiveKernels();
+    k.scale_copy_pairs(reinterpret_cast<PairLane*>(out),
+                       reinterpret_cast<const PairLane*>(in), factor, n);
+  } else {
+    for (size_t i = 0; i < n; ++i) {
+      out[i].origin = in[i].origin;
+      out[i].quantity = in[i].quantity * factor;
+    }
+  }
+}
+
+/// p[i].quantity *= factor in place — the "source keeps (1 - f)" pass
+/// of a pro-rata transfer.
+template <typename Pair>
+inline void ScalePairsInPlace(Pair* p, double factor, size_t n) {
+  if constexpr (internal::kHasSimdPairLayout<Pair>) {
+    static const KernelTable& k = ActiveKernels();
+    k.scale_pairs_in_place(reinterpret_cast<PairLane*>(p), factor, n);
+  } else {
+    for (size_t i = 0; i < n; ++i) p[i].quantity *= factor;
+  }
+}
+
 /// Two-pointer gallop merge of origin-sorted pair lists:
 ///   out = a  +  factor * b      (merging by origin)
 /// writing the merged, origin-sorted list to `out` (capacity at least
 /// na + nb, overlapping neither input) and returning its length.
 /// Disjoint runs are detected by galloping and moved with the SIMD
-/// copy kernels; equal origins accumulate in a single scalar
+/// copy kernels; equal origins accumulate in a single unfused scalar
 /// expression, a[i].quantity + b[j].quantity * factor — the exact
-/// arithmetic the paper's Section 4.3 transfer specifies.
+/// arithmetic the paper's Section 4.3 transfer specifies. The whole
+/// merge dispatches once, so the per-ISA inner loops pay no indirect
+/// calls.
 template <typename Pair>
 inline size_t GallopMergeScaled(Pair* out, const Pair* a, size_t na,
                                 const Pair* b, size_t nb, double factor) {
+  if constexpr (internal::kHasSimdPairLayout<Pair>) {
+    static const KernelTable& k = ActiveKernels();
+    return k.gallop_merge_scaled(reinterpret_cast<PairLane*>(out),
+                                 reinterpret_cast<const PairLane*>(a), na,
+                                 reinterpret_cast<const PairLane*>(b), nb,
+                                 factor);
+  }
   size_t i = 0;
   size_t j = 0;
   size_t k = 0;

@@ -1,0 +1,8 @@
+// AVX2 dispatch level. CMake compiles this TU with -mavx2 -mfma
+// -ffp-contract=off and defines TINPROV_SIMD_USE_AVX2 when the flags
+// are accepted. -mfma is requested for parity with TINPROV_NATIVE
+// builds, but the kernels deliberately never use fused ops — see the
+// bit-exactness contract in util/simd_dispatch.h.
+#define TINPROV_SIMD_IMPL_NAMESPACE avx2_impl
+#define TINPROV_SIMD_TABLE_NAME "avx2"
+#include "util/simd_kernels.inc"

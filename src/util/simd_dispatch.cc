@@ -1,0 +1,36 @@
+#include "util/simd_dispatch.h"
+
+#include "util/cpu.h"
+
+namespace tinprov::simd {
+
+// Defined by the per-ISA TUs (simd_scalar.cc / simd_sse2.cc /
+// simd_avx2.cc), each an expansion of util/simd_kernels.inc.
+namespace scalar_impl {
+extern const KernelTable kTable;
+}
+namespace sse2_impl {
+extern const KernelTable kTable;
+}
+namespace avx2_impl {
+extern const KernelTable kTable;
+}
+
+const KernelTable& KernelsFor(cpu::SimdLevel level) {
+  switch (level) {
+    case cpu::SimdLevel::kScalar:
+      return scalar_impl::kTable;
+    case cpu::SimdLevel::kSse2:
+      return sse2_impl::kTable;
+    case cpu::SimdLevel::kAvx2:
+      return avx2_impl::kTable;
+  }
+  return scalar_impl::kTable;
+}
+
+const KernelTable& ActiveKernels() {
+  static const KernelTable& table = KernelsFor(cpu::ActiveSimdLevel());
+  return table;
+}
+
+}  // namespace tinprov::simd

@@ -1,0 +1,70 @@
+// Runtime-dispatched kernel table behind util/simd.h.
+//
+// The same kernel bodies (util/simd_kernels.inc) are compiled three
+// times — simd_scalar.cc, simd_sse2.cc (-msse2), simd_avx2.cc
+// (-mavx2 -mfma) — and each TU exports one KernelTable of plain
+// function pointers. KernelsFor() hands out any table (tests compare
+// levels in-process); ActiveKernels() resolves the table for this host
+// once (CPUID + TINPROV_SIMD override, see util/cpu.h) and the inline
+// wrappers in util/simd.h latch it in function-local statics, so the
+// steady-state cost of dispatch is a single indirect call.
+//
+// Bit-exactness across levels is part of the contract: every table
+// entry except `sum` must produce bit-identical outputs for identical
+// inputs at every level. The per-ISA TUs are compiled with
+// -ffp-contract=off and use separate mul+add (never FMA) so the scalar
+// expression a + b * factor means the same thing in every lane width.
+// `sum` is the one exception — a reduction reassociates per lane width
+// — and is never used where tracker state (and thus the sequential ==
+// sharded bit-identity proof) depends on it.
+#ifndef TINPROV_UTIL_SIMD_DISPATCH_H_
+#define TINPROV_UTIL_SIMD_DISPATCH_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "util/cpu.h"
+
+namespace tinprov::simd {
+
+/// The 16-byte sparse-pair layout the pair kernels operate on. Callers
+/// (util/simd.h templates) reinterpret their own Pair type into this
+/// when the layout matches; the padding lane is copied bit-exactly by
+/// every level, never computed with.
+struct PairLane {
+  uint32_t origin;
+  uint32_t pad;
+  double quantity;
+};
+static_assert(sizeof(PairLane) == 16 && alignof(PairLane) == 8,
+              "PairLane must match the ProvPair wire layout");
+
+/// One per-ISA set of kernel entry points. Semantics documented on the
+/// public wrappers in util/simd.h.
+struct KernelTable {
+  const char* name;
+  void (*add)(double* dst, const double* src, size_t n);
+  void (*scale)(double* dst, double factor, size_t n);
+  void (*transfer_fraction)(double* dst, double* src, double fraction,
+                            size_t n);
+  double (*sum)(const double* src, size_t n);
+  void (*scale_copy_pairs)(PairLane* out, const PairLane* in, double factor,
+                           size_t n);
+  void (*scale_pairs_in_place)(PairLane* p, double factor, size_t n);
+  size_t (*gallop_merge_scaled)(PairLane* out, const PairLane* a, size_t na,
+                                const PairLane* b, size_t nb, double factor);
+};
+
+/// The table compiled for `level`. Always valid to *call* regardless of
+/// host support when the build lacked the ISA flags (the TU degrades to
+/// scalar code); only ActiveKernels() guarantees the lanes are both
+/// compiled and executable on this CPU. Tests and benches use this to
+/// compare levels side by side in one process.
+const KernelTable& KernelsFor(cpu::SimdLevel level);
+
+/// The table for cpu::ActiveSimdLevel(), resolved once per process.
+const KernelTable& ActiveKernels();
+
+}  // namespace tinprov::simd
+
+#endif  // TINPROV_UTIL_SIMD_DISPATCH_H_

@@ -1,0 +1,7 @@
+// Scalar dispatch level. Compiled with the project's baseline flags
+// plus -ffp-contract=off (see src/CMakeLists.txt) — the loops may still
+// auto-vectorize to whatever the global -march allows, which is fine:
+// without contraction every level computes bit-identical results.
+#define TINPROV_SIMD_IMPL_NAMESPACE scalar_impl
+#define TINPROV_SIMD_TABLE_NAME "scalar"
+#include "util/simd_kernels.inc"

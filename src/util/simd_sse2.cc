@@ -1,0 +1,7 @@
+// SSE2 dispatch level. CMake compiles this TU with -msse2
+// -ffp-contract=off and defines TINPROV_SIMD_USE_SSE2 when the flag is
+// accepted; on toolchains where it is not, this degrades to the scalar
+// bodies and KernelsFor(kSse2) simply aliases that code.
+#define TINPROV_SIMD_IMPL_NAMESPACE sse2_impl
+#define TINPROV_SIMD_TABLE_NAME "sse2"
+#include "util/simd_kernels.inc"

@@ -7,17 +7,24 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cctype>
+#include <chrono>
 #include <memory>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
 #include "analytics/experiment.h"
 #include "datagen/generator.h"
 #include "lazy/replay.h"
+#include "parallel/scheduler.h"
+#include "parallel/sharded_ingest.h"
 #include "parallel/sharded_replay.h"
 #include "policies/tracker.h"
+#include "stream/ingest.h"
+#include "stream/interaction_stream.h"
 
 namespace tinprov {
 namespace {
@@ -360,6 +367,340 @@ TEST(ParallelWiringTest, MeasureTrackerParallelOptionRuns) {
   ASSERT_TRUE(eager.ok());
   ASSERT_TRUE((*eager)->ProcessAll(tin).ok());
   EXPECT_EQ(sharded->peak_memory, (*eager)->MemoryUsage());
+}
+
+// ---------------------------------------------------------------------
+// (d) Vertex-sharded ingest == sequential StreamIngestor, bit for bit,
+// for every decomposable registry tracker.
+
+void ExpectSameTrackerState(const Tracker& expected, const Tracker& actual,
+                            const std::string& context) {
+  EXPECT_EQ(expected.total_generated(), actual.total_generated()) << context;
+  ASSERT_EQ(expected.num_vertices(), actual.num_vertices()) << context;
+  for (VertexId v = 0; v < expected.num_vertices(); ++v) {
+    EXPECT_EQ(expected.BufferTotal(v), actual.BufferTotal(v))
+        << context << " vertex " << v;
+    ExpectSameBuffer(expected.Provenance(v), actual.Provenance(v),
+                     context + " vertex " + std::to_string(v));
+  }
+}
+
+// Ingests `tin`'s log as a stream through both paths — sequential
+// StreamIngestor on spec.sequential(), and the sharded engine — and
+// requires bit-identical trackers plus matching ingest stats.
+void ExpectIngestBitIdentical(const Tin& tin, const std::string& name,
+                              const ParallelParams& parallel,
+                              const std::string& context,
+                              bool expect_parallel_path = true) {
+  const ScalableParams params = TestParams();
+  auto spec = TrackerRegistry::Global().Sharded(
+      {name, params, TrackerMode::kStreaming}, tin.Stats());
+  ASSERT_TRUE(spec.ok()) << context << ": " << spec.status().ToString();
+
+  std::unique_ptr<Tracker> reference = spec->sequential();
+  IngestOptions options;
+  options.batch_size = 257;  // deliberately not a divisor of the length
+  StreamIngestor ingestor(reference.get(), options);
+  MaterializedStream reference_stream(tin);
+  ASSERT_TRUE(ingestor.IngestAll(reference_stream).ok()) << context;
+
+  ShardedIngestEngine engine(tin.Stats(), *std::move(spec), parallel,
+                             options);
+  MaterializedStream stream(tin);
+  auto result = engine.IngestStream(stream);
+  ASSERT_TRUE(result.ok()) << context << ": " << result.status().ToString();
+  EXPECT_EQ(result->used_parallel_path, expect_parallel_path) << context;
+
+  ExpectSameTrackerState(*reference, *result->tracker, context);
+  EXPECT_EQ(result->stats.interactions, ingestor.stats().interactions)
+      << context;
+  EXPECT_EQ(result->stats.watermark, ingestor.stats().watermark) << context;
+}
+
+class ShardedIngestTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ShardedIngestTest, FourShardsMatchSequentialBitExactly) {
+  ParallelParams parallel;
+  parallel.num_threads = 4;
+  parallel.num_shards = 4;
+  parallel.stream_chunk = 97;  // forces many partial chunks
+  parallel.stream_queue_chunks = 2;
+  ExpectIngestBitIdentical(GeneratedTin(), GetParam(), parallel,
+                           GetParam() + "/ingest-4-shards");
+}
+
+TEST_P(ShardedIngestTest, ShardCountSweepMatches) {
+  const Tin tin = GeneratedTin();
+  for (const size_t shards : {size_t{2}, size_t{3}, size_t{7}}) {
+    ParallelParams parallel;
+    parallel.num_threads = shards;  // shards and workers are 1:1 here
+    parallel.num_shards = shards;
+    ExpectIngestBitIdentical(tin, GetParam(), parallel,
+                             GetParam() + "/ingest-shards" +
+                                 std::to_string(shards));
+  }
+}
+
+TEST_P(ShardedIngestTest, HandBuiltTinMatches) {
+  // 5 vertices, self-loop, deficit generation: the cross-shard exchange
+  // fires on nearly every interaction.
+  ParallelParams parallel;
+  parallel.num_threads = 3;
+  parallel.num_shards = 3;
+  parallel.stream_chunk = 2;
+  ExpectIngestBitIdentical(HandTin(), GetParam(), parallel,
+                           GetParam() + "/ingest-hand");
+}
+
+TEST_P(ShardedIngestTest, RepeatedRunsAreDeterministic) {
+  const Tin tin = GeneratedTin();
+  ParallelParams parallel;
+  parallel.num_threads = 4;
+  parallel.num_shards = 4;
+  auto make_result = [&] {
+    auto spec = TrackerRegistry::Global().Sharded(
+        {GetParam(), TestParams(), TrackerMode::kStreaming}, tin.Stats());
+    EXPECT_TRUE(spec.ok());
+    ShardedIngestEngine engine(tin.Stats(), *std::move(spec), parallel);
+    MaterializedStream stream(tin);
+    return engine.IngestStream(stream);
+  };
+  auto first = make_result();
+  auto second = make_result();
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  ExpectSameTrackerState(*first->tracker, *second->tracker,
+                         GetParam() + "/ingest-determinism");
+}
+
+INSTANTIATE_TEST_SUITE_P(DecomposableNames, ShardedIngestTest,
+                         ::testing::Values("Prop-sparse", "Windowed",
+                                           "Selective", "Grouped"),
+                         SanitizeName);
+
+TEST(ShardedIngestEngineTest, NonDecomposableNamesFallBackSequentially) {
+  const Tin tin = GeneratedTin();
+  ParallelParams parallel;
+  parallel.num_threads = 4;
+  for (const char* name : {"NoProv", "LIFO", "FIFO", "Budget"}) {
+    ExpectIngestBitIdentical(tin, name, parallel,
+                             std::string(name) + "/ingest-fallback",
+                             /*expect_parallel_path=*/false);
+  }
+}
+
+TEST(ShardedIngestEngineTest, SingleThreadFallsBackSequentially) {
+  ParallelParams parallel;
+  parallel.num_threads = 1;
+  parallel.num_shards = 4;  // shards clamp to threads: 1 shard, fallback
+  ExpectIngestBitIdentical(GeneratedTin(), "Prop-sparse", parallel,
+                           "Prop-sparse/ingest-1-thread",
+                           /*expect_parallel_path=*/false);
+}
+
+TEST(ShardedIngestEngineTest, SinkForcesSequentialFallback) {
+  // A durability sink must observe batches after the tracker applied
+  // them — that contract serializes, so the engine must not shard.
+  class CountingSink : public BatchSink {
+   public:
+    Status OnBatch(const Interaction*, size_t count) override {
+      interactions += count;
+      ++batches;
+      return Status::Ok();
+    }
+    size_t interactions = 0;
+    size_t batches = 0;
+  };
+
+  const Tin tin = GeneratedTin();
+  auto spec = TrackerRegistry::Global().Sharded(
+      {"Prop-sparse", TestParams(), TrackerMode::kStreaming}, tin.Stats());
+  ASSERT_TRUE(spec.ok());
+  CountingSink sink;
+  IngestOptions options;
+  options.sink = &sink;
+  ParallelParams parallel;
+  parallel.num_threads = 4;
+  ShardedIngestEngine engine(tin.Stats(), *std::move(spec), parallel,
+                             options);
+  MaterializedStream stream(tin);
+  auto result = engine.IngestStream(stream);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_FALSE(result->used_parallel_path);
+  EXPECT_EQ(sink.interactions, tin.num_interactions());
+  EXPECT_EQ(sink.batches, result->stats.batches);
+}
+
+TEST(ShardedIngestEngineTest, ParallelPathRejectsOutOfOrderStream) {
+  std::vector<Interaction> disordered;
+  for (size_t i = 0; i < 200; ++i) {
+    Interaction interaction;
+    interaction.src = static_cast<VertexId>(i % 9);
+    interaction.dst = static_cast<VertexId>((i + 4) % 9);
+    interaction.t = static_cast<Timestamp>(i + 1);
+    interaction.quantity = 1.0;
+    disordered.push_back(interaction);
+  }
+  std::swap(disordered[50], disordered[150]);
+  auto spec = TrackerRegistry::Global().Sharded(
+      {"Prop-sparse", TestParams(), TrackerMode::kStreaming},
+      DatasetStats{9, 200});
+  ASSERT_TRUE(spec.ok());
+  ParallelParams parallel;
+  parallel.num_threads = 3;
+  parallel.stream_chunk = 16;
+  ShardedIngestEngine engine(DatasetStats{9, 200}, *std::move(spec),
+                             parallel);
+  EXPECT_TRUE(engine.ResolvedShards() > 1);
+  VectorStream stream(9, disordered);
+  auto result = engine.IngestStream(stream);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ShardedIngestEngineTest, EmptyStreamYieldsEmptyTracker) {
+  auto spec = TrackerRegistry::Global().Sharded(
+      {"Prop-sparse", TestParams(), TrackerMode::kStreaming},
+      DatasetStats{12, 0});
+  ASSERT_TRUE(spec.ok());
+  ParallelParams parallel;
+  parallel.num_threads = 4;
+  ShardedIngestEngine engine(DatasetStats{12, 0}, *std::move(spec),
+                             parallel);
+  VectorStream stream(12, {});
+  auto result = engine.IngestStream(stream);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_NE(result->tracker, nullptr);
+  EXPECT_EQ(result->tracker->total_generated(), 0.0);
+  EXPECT_EQ(result->stats.interactions, 0u);
+  for (VertexId v = 0; v < 12; ++v) {
+    EXPECT_TRUE(result->tracker->Provenance(v).entries.empty());
+  }
+}
+
+TEST(ShardedIngestEngineTest, ShardInfoAccountsEveryVertexOnce) {
+  const Tin tin = GeneratedTin();
+  auto spec = TrackerRegistry::Global().Sharded(
+      {"Prop-sparse", TestParams(), TrackerMode::kStreaming}, tin.Stats());
+  ASSERT_TRUE(spec.ok());
+  ParallelParams parallel;
+  parallel.num_threads = 4;
+  parallel.num_shards = 4;
+  ShardedIngestEngine engine(tin.Stats(), *std::move(spec), parallel);
+  MaterializedStream stream(tin);
+  auto result = engine.IngestStream(stream);
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(result->used_parallel_path);
+  ASSERT_EQ(result->shards.size(), result->num_shards);
+  size_t vertices = 0;
+  for (const ShardInfo& shard : result->shards) vertices += shard.labels;
+  EXPECT_EQ(vertices, tin.num_vertices());
+}
+
+TEST(ShardedIngestEngineTest, AssignVerticesIsContiguousAndComplete) {
+  for (const auto& [vertices, shards] :
+       {std::pair<size_t, size_t>{10, 3}, {7, 7}, {100, 4}, {5, 1}}) {
+    const auto owner = ShardedIngestEngine::AssignVertices(vertices, shards);
+    ASSERT_EQ(owner.size(), vertices);
+    std::vector<size_t> counts(shards, 0);
+    for (size_t v = 0; v < vertices; ++v) {
+      ASSERT_LT(owner[v], shards);
+      ++counts[owner[v]];
+      // Contiguous ranges: the owner id never decreases.
+      if (v > 0) {
+        EXPECT_GE(owner[v], owner[v - 1]);
+      }
+    }
+    for (size_t s = 0; s < shards; ++s) {
+      EXPECT_GT(counts[s], 0u) << vertices << "/" << shards << " shard " << s;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// (e) Work-stealing scheduler unit tests.
+
+TEST(SchedulerTest, ParallelForCoversEveryIndexExactlyOnce) {
+  for (const size_t threads : {size_t{1}, size_t{2}, size_t{4}, size_t{7}}) {
+    for (const size_t count :
+         {size_t{0}, size_t{1}, size_t{3}, size_t{64}, size_t{1000}}) {
+      WorkStealingScheduler scheduler(threads);
+      EXPECT_EQ(scheduler.num_threads(), threads);
+      std::vector<std::atomic<int>> hits(count);
+      for (auto& h : hits) h.store(0);
+      scheduler.ParallelFor(count, [&](size_t i) {
+        hits[i].fetch_add(1, std::memory_order_relaxed);
+      });
+      for (size_t i = 0; i < count; ++i) {
+        EXPECT_EQ(hits[i].load(), 1)
+            << "threads=" << threads << " count=" << count << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(SchedulerTest, TasksStatAccumulatesAcrossCalls) {
+  WorkStealingScheduler scheduler(2);
+  scheduler.ParallelFor(10, [](size_t) {});
+  scheduler.ParallelFor(5, [](size_t) {});
+  EXPECT_EQ(scheduler.stats().tasks, 15u);
+}
+
+TEST(SchedulerTest, SingleThreadInlinePathNeverSteals) {
+  WorkStealingScheduler scheduler(1);
+  std::atomic<size_t> sum{0};
+  scheduler.ParallelFor(100, [&](size_t i) {
+    sum.fetch_add(i, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(sum.load(), 4950u);
+  EXPECT_EQ(scheduler.stats().tasks, 100u);
+  EXPECT_EQ(scheduler.stats().steals, 0u);
+}
+
+TEST(SchedulerTest, SkewedBodiesStillCoverEverything) {
+  // A few indices are much slower than the rest; with more than one
+  // worker the fast workers drain their deques and steal. Coverage must
+  // hold regardless of how the steal races resolve.
+  WorkStealingScheduler scheduler(4);
+  const size_t count = 200;
+  std::vector<std::atomic<int>> hits(count);
+  for (auto& h : hits) h.store(0);
+  scheduler.ParallelFor(count, [&](size_t i) {
+    if (i < 4) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (size_t i = 0; i < count; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "i=" << i;
+  }
+  EXPECT_EQ(scheduler.stats().tasks, count);
+}
+
+TEST(SchedulerTest, HardwareThreadsIsPositive) {
+  EXPECT_GE(HardwareThreads(), 1u);
+}
+
+TEST(SchedulerTest, ResidentPoolRunsInterlockedTasks) {
+  // Two tasks that strictly alternate through atomics: only dedicated
+  // threads (not a shared pool) can run these to completion.
+  std::atomic<int> turn{0};
+  std::atomic<int> handoffs{0};
+  auto task = [&](int me) {
+    for (int round = 0; round < 50; ++round) {
+      while (turn.load(std::memory_order_acquire) != me) {
+        std::this_thread::yield();
+      }
+      handoffs.fetch_add(1, std::memory_order_relaxed);
+      turn.store(1 - me, std::memory_order_release);
+    }
+  };
+  std::vector<std::function<void()>> tasks;
+  tasks.emplace_back([&] { task(0); });
+  tasks.emplace_back([&] { task(1); });
+  ResidentPool pool(std::move(tasks));
+  pool.Join();
+  EXPECT_EQ(handoffs.load(), 100);
 }
 
 }  // namespace

@@ -378,6 +378,149 @@ TEST(ServeHistoryTest, HandoffBoundaryMatchesFullReplay) {
 }
 
 // ---------------------------------------------------------------------
+// (d2) Catchup: the vertex-sharded bulk-load before Start() must leave
+// the service indistinguishable from one that ingested everything
+// through the live path.
+
+TEST(ServeCatchupTest, CatchupPlusTailMatchesFullSequentialStart) {
+  const Tin tin = GeneratedTin();
+  const TrackerSpec spec = StreamingSpec("Prop-sparse");
+  const auto& log = tin.interactions();
+  const size_t split = tin.num_interactions() / 2;
+
+  ServeOptions options;
+  options.epoch_interval = 300;
+  options.catchup.num_threads = 4;
+  options.catchup.num_shards = 4;
+  auto service = ProvenanceService::Create(spec, tin.Stats(), options);
+  ASSERT_TRUE(service.ok()) << service.status().ToString();
+
+  std::vector<Interaction> head(log.begin(), log.begin() + split);
+  ASSERT_TRUE((*service)
+                  ->Catchup(std::make_unique<VectorStream>(
+                      tin.num_vertices(), std::move(head)))
+                  .ok());
+  EXPECT_EQ((*service)->catchup_stats().interactions, split);
+  // The catchup result is immediately queryable at its own epoch.
+  EXPECT_EQ((*service)->LatestEpoch().prefix, split);
+  EXPECT_EQ((*service)->LatestEpoch().watermark, log[split - 1].t);
+
+  std::vector<Interaction> tail(log.begin() + split, log.end());
+  ASSERT_TRUE((*service)
+                  ->Start(std::make_unique<VectorStream>(tin.num_vertices(),
+                                                         std::move(tail)))
+                  .ok());
+  ASSERT_TRUE((*service)->WaitIngest().ok());
+
+  // Epoch prefixes keep counting interactions-applied-since-empty, so
+  // the final epoch covers the whole log, not just the tail.
+  EXPECT_EQ((*service)->LatestEpoch().prefix, tin.num_interactions());
+  EXPECT_EQ((*service)->LatestEpoch().watermark, log.back().t);
+  EXPECT_EQ((*service)->ingest_stats().interactions,
+            tin.num_interactions() - split);
+
+  const auto reference = ReferencePrefix(spec, tin, tin.num_interactions());
+  for (VertexId v = 0; v < tin.num_vertices(); ++v) {
+    QueryResult result = (*service)->Provenance(v);
+    ASSERT_TRUE(result.status.ok());
+    ExpectSameBuffer(reference->Provenance(v), result.buffer,
+                     "catchup vertex " + std::to_string(v));
+  }
+}
+
+TEST(ServeCatchupTest, HistoricalQueriesSpanTheCatchupRange) {
+  // retain_history keeps the catchup interactions in the retained log
+  // (the engine's stream is teed through it), so Provenance(v, t) for a
+  // t inside the caught-up range answers exactly as if the range had
+  // been ingested live.
+  const Tin tin = GeneratedTin();
+  const TrackerSpec spec = StreamingSpec("Windowed");
+  const auto& log = tin.interactions();
+  const size_t split = (2 * tin.num_interactions()) / 3;
+
+  ServeOptions options;
+  options.epoch_interval = 100;
+  options.catchup.num_threads = 3;
+  auto service = ProvenanceService::Create(spec, tin.Stats(), options);
+  ASSERT_TRUE(service.ok());
+  std::vector<Interaction> head(log.begin(), log.begin() + split);
+  ASSERT_TRUE((*service)
+                  ->Catchup(std::make_unique<VectorStream>(
+                      tin.num_vertices(), std::move(head)))
+                  .ok());
+  std::vector<Interaction> tail(log.begin() + split, log.end());
+  ASSERT_TRUE((*service)
+                  ->Start(std::make_unique<VectorStream>(tin.num_vertices(),
+                                                         std::move(tail)))
+                  .ok());
+  ASSERT_TRUE((*service)->WaitIngest().ok());
+
+  const std::vector<Timestamp> probes = {log[10].t, log[split / 2].t,
+                                         log[split - 1].t, log[split + 5].t,
+                                         log.back().t};
+  for (const Timestamp t : probes) {
+    const size_t prefix = PrefixLength(tin, t);
+    const auto reference = ReferencePrefix(spec, tin, prefix);
+    for (const VertexId v : {VertexId{1}, VertexId{29}, VertexId{58}}) {
+      QueryResult result = (*service)->Provenance(v, t);
+      ASSERT_TRUE(result.status.ok()) << result.status.ToString();
+      ExpectSameBuffer(reference->Provenance(v), result.buffer,
+                       "catchup-history t=" + std::to_string(t) + " v=" +
+                           std::to_string(v));
+    }
+  }
+}
+
+TEST(ServeCatchupTest, LifecyclePreconditions) {
+  const Tin tin = GeneratedTin();
+  const TrackerSpec spec = StreamingSpec("Prop-sparse");
+  const auto& log = tin.interactions();
+  auto make_stream = [&] {
+    return std::make_unique<VectorStream>(
+        tin.num_vertices(), std::vector<Interaction>(log.begin(),
+                                                     log.begin() + 100));
+  };
+
+  {
+    auto service = ProvenanceService::Create(spec, tin.Stats());
+    ASSERT_TRUE(service.ok());
+    EXPECT_EQ((*service)->Catchup(nullptr).code(),
+              StatusCode::kInvalidArgument);
+    // A second catchup would double-apply: one bulk load only.
+    ASSERT_TRUE((*service)->Catchup(make_stream()).ok());
+    EXPECT_EQ((*service)->Catchup(make_stream()).code(),
+              StatusCode::kFailedPrecondition);
+  }
+  {
+    // Once the live ingest started, the bulk path is closed.
+    auto service = ProvenanceService::Create(spec, tin.Stats());
+    ASSERT_TRUE(service.ok());
+    ASSERT_TRUE(
+        (*service)->Start(std::make_unique<MaterializedStream>(tin)).ok());
+    EXPECT_EQ((*service)->Catchup(make_stream()).code(),
+              StatusCode::kFailedPrecondition);
+    ASSERT_TRUE((*service)->WaitIngest().ok());
+  }
+  {
+    // A handoff index already carries history: catchup must start from
+    // empty state.
+    auto factory = TrackerRegistry::Global().Factory(spec, tin.Stats());
+    ASSERT_TRUE(factory.ok());
+    auto index =
+        TimeTravelIndex::NewStreaming(tin.num_vertices(), *factory, 100);
+    ASSERT_TRUE(index.ok());
+    ASSERT_TRUE((*index)->Observe(log[0]).ok());
+    ASSERT_TRUE((*index)->Finalize().ok());
+    std::shared_ptr<const TimeTravelIndex> history = std::move(*index);
+    auto service =
+        ProvenanceService::CreateWithHistory(spec, tin.Stats(), history);
+    ASSERT_TRUE(service.ok());
+    EXPECT_EQ((*service)->Catchup(make_stream()).code(),
+              StatusCode::kFailedPrecondition);
+  }
+}
+
+// ---------------------------------------------------------------------
 // (e) API edges: construction validation, top-k ordering, dispatch,
 // lifecycle, and ingest-error propagation.
 
